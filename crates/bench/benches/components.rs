@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks of the substrates: real-time throughput of the
+//! building blocks (as opposed to the figure harnesses, which report
+//! *simulated* cluster time).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hmr_api::writable::{to_bytes, BytesWritable, IntWritable, Text, Writable};
+use kvstore::{KPath, KvStore};
+use x10rt::serialize::{DedupMode, Deserializer, Serializer};
+
+fn bench_writable_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("writable");
+    let text = Text::from("a-reasonably-sized-token");
+    g.throughput(Throughput::Bytes(text.serialized_size() as u64));
+    g.bench_function("text_encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(32);
+            black_box(&text).write_to(&mut buf);
+            black_box(buf)
+        })
+    });
+    let bytes = to_bytes(&text);
+    g.bench_function("text_decode", |b| {
+        b.iter(|| {
+            let mut r = hmr_api::writable::ByteReader::new(black_box(&bytes));
+            black_box(Text::read_from(&mut r).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dedup_serializer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dedup_serializer");
+    let payload = Arc::new(BytesWritable(vec![7u8; 1000]));
+    for (name, mode) in [
+        ("full", DedupMode::Full),
+        ("consecutive", DedupMode::Consecutive),
+        ("off", DedupMode::Off),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("broadcast_1000x1KB", name),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut s = Serializer::new(mode);
+                    for i in 0..1000u32 {
+                        let key = Arc::new(IntWritable(i as i32));
+                        s.write_u32(i);
+                        s.write_arc_with(&key, |k, buf| k.write_to(buf));
+                        s.write_arc_with(&payload, |v, buf| v.write_to(buf));
+                    }
+                    black_box(s.finish())
+                })
+            },
+        );
+    }
+    // Decode path, with dedup aliases.
+    let mut s = Serializer::new(DedupMode::Full);
+    for i in 0..1000u32 {
+        let key = Arc::new(IntWritable(i as i32));
+        s.write_u32(i);
+        s.write_arc_with(&key, |k, buf| k.write_to(buf));
+        s.write_arc_with(&payload, |v, buf| v.write_to(buf));
+    }
+    let (bytes, _) = s.finish();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("decode_full_dedup", |b| {
+        b.iter(|| {
+            let mut d = Deserializer::new(black_box(&bytes));
+            let mut n = 0;
+            while d.remaining() > 0 {
+                let _p = d.read_u32().unwrap();
+                let _k = d
+                    .read_arc_with(|d| {
+                        let mut br = hmr_api::writable::ByteReader::new(d.rest());
+                        let v = IntWritable::read_from(&mut br).unwrap();
+                        d.advance(br.position()).unwrap();
+                        Ok(v)
+                    })
+                    .unwrap();
+                let _v = d
+                    .read_arc_with(|d| {
+                        let mut br = hmr_api::writable::ByteReader::new(d.rest());
+                        let v = BytesWritable::read_from(&mut br).unwrap();
+                        d.advance(br.position()).unwrap();
+                        Ok(v)
+                    })
+                    .unwrap();
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_kvstore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore");
+    g.bench_function("write_read_delete", |b| {
+        let store: KvStore<u32> = KvStore::new(8);
+        let mut i = 0u64;
+        b.iter(|| {
+            let path = KPath::new(format!("/bench/f{i}"));
+            store
+                .write_block(
+                    (i % 8) as usize,
+                    &path,
+                    0,
+                    Arc::new(vec![0u8; 256]),
+                    256,
+                )
+                .unwrap();
+            black_box(store.create_reader(&path, &0).unwrap());
+            store.delete(&path).unwrap();
+            i += 1;
+        })
+    });
+    g.bench_function("concurrent_reads", |b| {
+        let store: KvStore<u32> = KvStore::new(8);
+        for i in 0..64 {
+            store
+                .write_block(i % 8, &KPath::new(format!("/r/f{i}")), 0, Arc::new(i), 8)
+                .unwrap();
+        }
+        b.iter(|| {
+            for i in 0..64 {
+                black_box(store.create_reader(&KPath::new(format!("/r/f{i}")), &0).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_sortbuffer(c: &mut Criterion) {
+    use hadoop_engine::sortbuffer::SortBuffer;
+    use hmr_api::collect::OutputCollector;
+    use hmr_api::comparator::KeyComparator;
+    use hmr_api::partition::HashPartitioner;
+
+    let mut g = c.benchmark_group("hadoop_sortbuffer");
+    g.bench_function("collect_sort_spill_2k_records", |b| {
+        b.iter(|| {
+            let ctx = hmr_api::TaskContext::new(
+                "bench",
+                Arc::new(hmr_api::JobConf::new()),
+                Arc::new(hmr_api::DistCache::empty()),
+            );
+            let mut buf: SortBuffer<Text, IntWritable> = SortBuffer::new(
+                8,
+                64 << 10,
+                Box::new(HashPartitioner),
+                KeyComparator::natural(),
+                KeyComparator::natural(),
+                None,
+                ctx,
+            );
+            for i in 0..2000 {
+                buf.collect(
+                    Arc::new(Text::from(format!("key-{:04}", i % 500))),
+                    Arc::new(IntWritable(1)),
+                )
+                .unwrap();
+            }
+            black_box(buf.finish().unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_writable_roundtrip,
+    bench_dedup_serializer,
+    bench_kvstore,
+    bench_sortbuffer
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion end-to-end benchmarks: real wall-clock cost of running a
+//! complete (small) job on each engine. These measure the *implementation*
+//! overhead of the two engines on this machine; the paper-shape comparisons
+//! in simulated cluster seconds live in the `fig*` binaries.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hmr_api::HPath;
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+use workloads::textgen::generate_text;
+use workloads::wordcount::{run_wordcount, WcStyle};
+
+fn setup_corpus(nodes: usize) -> (Cluster, SimDfs) {
+    let cluster = Cluster::new(nodes, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+    generate_text(&fs, &HPath::new("/in/c.txt"), 64 << 10, 7).unwrap();
+    (cluster, fs)
+}
+
+fn bench_engines_wordcount(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_wordcount_64KB");
+    g.sample_size(20);
+
+    g.bench_function("hadoop", |b| {
+        b.iter_with_setup(
+            || {
+                let (cluster, fs) = setup_corpus(4);
+                hadoop_engine::HadoopEngine::new(cluster, Arc::new(fs))
+            },
+            |mut engine| {
+                black_box(
+                    run_wordcount(
+                        &mut engine,
+                        WcStyle::FreshText,
+                        &HPath::new("/in"),
+                        &HPath::new("/out"),
+                        4,
+                    )
+                    .unwrap(),
+                )
+            },
+        )
+    });
+
+    g.bench_function("m3r_cold", |b| {
+        b.iter_with_setup(
+            || {
+                let (cluster, fs) = setup_corpus(4);
+                m3r::M3REngine::new(cluster, Arc::new(fs))
+            },
+            |mut engine| {
+                black_box(
+                    run_wordcount(
+                        &mut engine,
+                        WcStyle::FreshText,
+                        &HPath::new("/in"),
+                        &HPath::new("/out"),
+                        4,
+                    )
+                    .unwrap(),
+                )
+            },
+        )
+    });
+
+    // Warm: the engine persists, so iterations after the first hit the
+    // input cache — the M3R steady state for iterative workloads.
+    g.bench_function("m3r_warm", |b| {
+        let (cluster, fs) = setup_corpus(4);
+        let mut engine = m3r::M3REngine::new(cluster, Arc::new(fs.clone()));
+        let mut run_id = 0u64;
+        b.iter(|| {
+            run_id += 1;
+            black_box(
+                run_wordcount(
+                    &mut engine,
+                    WcStyle::FreshText,
+                    &HPath::new("/in"),
+                    &HPath::new(format!("/out{run_id}")),
+                    4,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines_wordcount);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! # m3r-bench — harnesses that regenerate every figure of the paper
+//!
+//! One binary per figure (run with `cargo run --release -p m3r-bench --bin
+//! figN`), each printing the series the paper plots, in simulated seconds
+//! on a 20-node cluster calibrated like the paper's testbed:
+//!
+//! | Binary | Paper figure | Series |
+//! |---|---|---|
+//! | `fig6` | Figure 6 | Hadoop + M3R iterations 1–3 vs remote-shuffle % |
+//! | `fig7` | Figure 7 | Hadoop vs M3R sparse matvec vs rows (+ M3R detail) |
+//! | `fig8` | Figure 8 | WordCount: Hadoop new/reuse Text, M3R vs input MB |
+//! | `fig9` | Figure 9 | SystemML GNMF vs rows |
+//! | `fig10` | Figure 10 | SystemML linear regression vs points |
+//! | `fig11` | Figure 11 | SystemML PageRank vs graph size |
+//! | `repartition` | §6.1.1 | one-off repartitioning job cost |
+//! | `ablations` | DESIGN.md | dedup / stability / cache / ImmutableOutput |
+//!
+//! Inputs are scaled down from the paper's absolute sizes (see
+//! EXPERIMENTS.md); all randomness is seeded, so reruns reproduce the same
+//! numbers except for the (tiny, `compute_scale`-weighted) real-compute
+//! component.
+
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+
+/// Nodes in the simulated cluster — the paper's testbed size.
+pub const NODES: usize = 20;
+
+/// A fresh paper-calibrated cluster + DFS. `compute_scale` folds measured
+/// user-compute seconds into the clock (figures use 1.0 so real kernel work
+/// — matrix multiplies etc. — shows up; pure-I/O figures are insensitive).
+pub fn fresh(nodes: usize, compute_scale: f64) -> (Cluster, SimDfs) {
+    let model = CostModel {
+        compute_scale,
+        ..CostModel::default()
+    };
+    let cluster = Cluster::new(nodes, model);
+    // 8 MB blocks, 2-way replication: scaled-down HDFS defaults.
+    let fs = SimDfs::with_config(cluster.clone(), 8 << 20, 2);
+    (cluster, fs)
+}
+
+/// Print a CSV-ish table: header then rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n# {title}");
+    println!("{}", header.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+/// Format a simulated-seconds value.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}")
+}

@@ -1,0 +1,269 @@
+//! The input/output key/value cache (paper §3.2.1), built on the
+//! distributed [`kvstore`] of §5.2.
+//!
+//! "Before passing it to the mapper, M3R caches the key/value pairs in
+//! memory (associated with the input file name). In a subsequent job, when
+//! the same input is requested, M3R will bypass the provided RecordReader
+//! and obtain the required key/value sequence directly from the cache."
+//! Output sequences are cached the same way under the output part file's
+//! name; temporary outputs (§4.2.3) live *only* here.
+//!
+//! Entries are typed: a sequence cached as `(K, V)` can only be served to a
+//! consumer expecting `(K, V)` — a type mismatch silently degrades to a
+//! cache bypass, mirroring how M3R bypasses the cache for splits it cannot
+//! name or understand.
+
+use std::sync::Arc;
+
+use kvstore::{KPath, KvError, KvStore};
+
+use hmr_api::fs::HPath;
+
+/// A cached key/value sequence: `Arc`-shared pairs, exactly what flows
+/// through the engine. Aliasing the `Arc`s is what makes cache hits free.
+pub struct CachedSeq<K, V> {
+    /// The cached pairs in file order.
+    pub pairs: Vec<(Arc<K>, Arc<V>)>,
+}
+
+impl<K, V> CachedSeq<K, V> {
+    /// Wrap a pair sequence.
+    pub fn new(pairs: Vec<(Arc<K>, Arc<V>)>) -> Self {
+        CachedSeq { pairs }
+    }
+}
+
+/// Block metadata stored in the kvstore: the byte length the entry stands
+/// for (which must match the file length the caching filesystem reports,
+/// so split names line up) and the number of records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheMeta {
+    /// Serialized byte length of the sequence (the "file size").
+    pub len: u64,
+    /// Number of key/value pairs.
+    pub records: u64,
+}
+
+/// A cache hit.
+pub struct CacheHit<K, V> {
+    /// The cached sequence.
+    pub seq: Arc<CachedSeq<K, V>>,
+    /// The place whose data table holds it.
+    pub place: usize,
+    /// Entry metadata.
+    pub meta: CacheMeta,
+}
+
+/// The typed facade over the kvstore used by the engine and the caching
+/// filesystem.
+#[derive(Clone)]
+pub struct KvCache {
+    store: KvStore<CacheMeta>,
+}
+
+fn kpath(path: &HPath) -> KPath {
+    KPath::new(path.as_str())
+}
+
+impl KvCache {
+    /// A cache sharded over `places`.
+    pub fn new(places: usize) -> Self {
+        KvCache {
+            store: KvStore::new(places),
+        }
+    }
+
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.store.num_places()
+    }
+
+    /// Cache `seq` for `path` at `place`. Replaces any previous entry for
+    /// the path (the path's block list is reduced to this one entry).
+    pub fn put_seq<K: Send + Sync + 'static, V: Send + Sync + 'static>(
+        &self,
+        place: usize,
+        path: &HPath,
+        seq: Arc<CachedSeq<K, V>>,
+        len: u64,
+    ) {
+        let records = seq.pairs.len() as u64;
+        let kp = kpath(path);
+        // Drop any stale entry first so the file holds exactly one block.
+        let _ = self.store.delete(&kp);
+        self.store
+            .write_block(place, &kp, CacheMeta { len, records }, seq, len)
+            .expect("cache path cannot collide after delete");
+    }
+
+    /// Typed lookup. `expected_len` (from a split's byte range) guards
+    /// against stale entries; pass `None` to accept any length.
+    pub fn get_seq<K: Send + Sync + 'static, V: Send + Sync + 'static>(
+        &self,
+        path: &HPath,
+        expected_len: Option<u64>,
+    ) -> Option<CacheHit<K, V>> {
+        let info = self.store.get_info(&kpath(path)).ok()?;
+        let block = info.blocks.first()?;
+        if let Some(len) = expected_len {
+            if block.info.len != len {
+                return None;
+            }
+        }
+        let data = self.store.create_reader(&kpath(path), &block.info).ok()?;
+        let seq = data.downcast::<CachedSeq<K, V>>().ok()?;
+        Some(CacheHit {
+            seq,
+            place: block.place,
+            meta: block.info.clone(),
+        })
+    }
+
+    /// Untyped metadata lookup: is `path` cached, and where/how big?
+    pub fn status(&self, path: &HPath) -> Option<CacheMeta> {
+        let info = self.store.get_info(&kpath(path)).ok()?;
+        match info.kind {
+            kvstore::PathKind::File => info.blocks.first().map(|b| b.info.clone()),
+            kvstore::PathKind::Dir => Some(CacheMeta { len: 0, records: 0 }),
+        }
+    }
+
+    /// True when `path` is a cached directory.
+    pub fn is_dir(&self, path: &HPath) -> bool {
+        matches!(
+            self.store.get_info(&kpath(path)).map(|i| i.kind),
+            Ok(kvstore::PathKind::Dir)
+        )
+    }
+
+    /// The place holding `path`'s cached data, if any.
+    pub fn place_of(&self, path: &HPath) -> Option<usize> {
+        let info = self.store.get_info(&kpath(path)).ok()?;
+        info.blocks.first().map(|b| b.place)
+    }
+
+    /// Cached children of a directory path.
+    pub fn list(&self, dir: &HPath) -> Vec<(HPath, CacheMeta)> {
+        let Ok(children) = self.store.list(&kpath(dir)) else {
+            return Vec::new();
+        };
+        children
+            .into_iter()
+            .filter_map(|c| {
+                let p = HPath::new(c.as_str());
+                self.status(&p).map(|m| (p, m))
+            })
+            .collect()
+    }
+
+    /// Remove `path` (file or subtree) from the cache. §3.2.1: "deleting a
+    /// file from the filesystem causes it to be transparently removed from
+    /// the cache."
+    pub fn delete(&self, path: &HPath) -> bool {
+        self.store.delete(&kpath(path)).unwrap_or(false)
+    }
+
+    /// Rename within the cache (keeps data at its place).
+    pub fn rename(&self, src: &HPath, dst: &HPath) -> Result<(), KvError> {
+        self.store.rename(&kpath(src), &kpath(dst))
+    }
+
+    /// Whether anything is cached under `path`.
+    pub fn contains(&self, path: &HPath) -> bool {
+        self.store.exists(&kpath(path))
+    }
+
+    /// Total cached weight in bytes (memory-pressure observability; the
+    /// paper's §6.1 benchmark explicitly deletes consumed inputs "as \[their\]
+    /// presence in the cache wastes memory").
+    pub fn total_bytes(&self) -> u64 {
+        self.store.total_weight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmr_api::writable::{IntWritable, Text};
+
+    fn seq(n: i32) -> Arc<CachedSeq<IntWritable, Text>> {
+        Arc::new(CachedSeq::new(
+            (0..n)
+                .map(|i| {
+                    (
+                        Arc::new(IntWritable(i)),
+                        Arc::new(Text::from(format!("v{i}"))),
+                    )
+                })
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_aliasing() {
+        let cache = KvCache::new(4);
+        let p = HPath::new("/out/part-00000");
+        let s = seq(3);
+        cache.put_seq(2, &p, Arc::clone(&s), 100);
+        let hit = cache.get_seq::<IntWritable, Text>(&p, Some(100)).unwrap();
+        assert_eq!(hit.place, 2);
+        assert_eq!(hit.meta.records, 3);
+        assert!(Arc::ptr_eq(&hit.seq, &s), "cache returns the same sequence");
+    }
+
+    #[test]
+    fn length_mismatch_is_a_miss() {
+        let cache = KvCache::new(2);
+        let p = HPath::new("/f");
+        cache.put_seq(0, &p, seq(1), 10);
+        assert!(cache.get_seq::<IntWritable, Text>(&p, Some(11)).is_none());
+        assert!(cache.get_seq::<IntWritable, Text>(&p, Some(10)).is_some());
+        assert!(cache.get_seq::<IntWritable, Text>(&p, None).is_some());
+    }
+
+    #[test]
+    fn type_mismatch_is_a_miss_not_an_error() {
+        let cache = KvCache::new(2);
+        let p = HPath::new("/f");
+        cache.put_seq(0, &p, seq(1), 10);
+        // A consumer expecting (Text, Text) simply bypasses the cache.
+        assert!(cache.get_seq::<Text, Text>(&p, Some(10)).is_none());
+    }
+
+    #[test]
+    fn replacement_updates_entry() {
+        let cache = KvCache::new(2);
+        let p = HPath::new("/f");
+        cache.put_seq(0, &p, seq(1), 10);
+        cache.put_seq(1, &p, seq(5), 50);
+        let hit = cache.get_seq::<IntWritable, Text>(&p, None).unwrap();
+        assert_eq!(hit.meta.records, 5);
+        assert_eq!(hit.place, 1);
+        assert_eq!(cache.total_bytes(), 50, "old entry weight reclaimed");
+    }
+
+    #[test]
+    fn delete_and_rename_maintain_cache() {
+        let cache = KvCache::new(2);
+        cache.put_seq(0, &HPath::new("/out/temp_1/part-00000"), seq(2), 20);
+        cache.put_seq(1, &HPath::new("/out/temp_1/part-00001"), seq(2), 20);
+        cache
+            .rename(&HPath::new("/out/temp_1"), &HPath::new("/out/final"))
+            .unwrap();
+        assert!(cache.contains(&HPath::new("/out/final/part-00001")));
+        assert_eq!(cache.place_of(&HPath::new("/out/final/part-00001")), Some(1));
+        assert!(cache.delete(&HPath::new("/out/final")));
+        assert_eq!(cache.total_bytes(), 0);
+    }
+
+    #[test]
+    fn list_cached_directory() {
+        let cache = KvCache::new(2);
+        cache.put_seq(0, &HPath::new("/d/a"), seq(1), 5);
+        cache.put_seq(0, &HPath::new("/d/b"), seq(1), 7);
+        let mut ls = cache.list(&HPath::new("/d"));
+        ls.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[1].1.len, 7);
+    }
+}

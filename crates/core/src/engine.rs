@@ -1,0 +1,906 @@
+//! The M3R engine (paper §3.2, §5): an in-memory implementation of the
+//! Hadoop MapReduce APIs on long-lived places.
+//!
+//! One engine instance owns a fixed family of places (x10rt worker
+//! threads, one per simulated node, each with `worker_threads` task slots —
+//! the paper runs one process per host with 8 worker threads) and runs
+//! *every* job of a job sequence on them:
+//!
+//! * no jobtracker, no heartbeats, no per-task JVMs — coordination is
+//!   X10-style barriers costing fractions of a millisecond;
+//! * inputs and outputs are cached in the distributed [`crate::cache`]
+//!   keyed by file name; a job whose input was produced (or read) by an
+//!   earlier job gets it from the heap with zero I/O;
+//! * the shuffle is in memory: local pairs move by pointer (aliased under
+//!   `ImmutableOutput`, defensively cloned otherwise), remote pairs travel
+//!   in de-duplicating serialized streams, one per place pair;
+//! * partition stability: partition *p* always reduces at place
+//!   `p % places`, so pipelines using a consistent partitioner never move
+//!   stable data (§3.2.2.2).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use hmr_api::comparator::{group_spans, sort_pairs_by};
+use hmr_api::conf::JobConf;
+use hmr_api::counters::{task_counter, Counters, TaskContext};
+use hmr_api::distcache::DistCache;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::fs::{FileSystem, HPath};
+use hmr_api::io::{part_file_name, InputSplit, OutputFormat};
+use hmr_api::job::{Engine, JobDef, JobResult};
+use hmr_api::writable::{write_vu64, Writable};
+use simgrid::cost::Charge;
+use simgrid::{Cluster, Meter};
+use x10rt::serialize::DedupMode;
+use x10rt::World;
+
+use crate::cache::{CachedSeq, KvCache};
+use crate::cachefs::CachingFs;
+use crate::shuffle::{decode_stream, MapOutputBuffer, ShuffleStream};
+use crate::stability::PlaceMap;
+
+/// The M3R counter group for engine-specific statistics.
+pub const M3R_COUNTER_GROUP: &str = "m3r";
+
+/// Engine configuration. The defaults are the paper's (§6): one place per
+/// host, 8 worker threads, full de-duplication, partition stability and the
+/// input/output cache on. The `false`/`Off` settings exist for the ablation
+/// benches DESIGN.md calls out.
+#[derive(Clone, Debug)]
+pub struct M3ROptions {
+    /// Concurrent map/reduce tasks per place.
+    pub worker_threads: usize,
+    /// Shuffle de-duplication mode (§3.2.2.3, §6.3).
+    pub dedup: DedupMode,
+    /// The partition-stability guarantee (§3.2.2.2); disabling simulates a
+    /// Hadoop-like arbitrary partition→host assignment.
+    pub partition_stability: bool,
+    /// The input/output key/value cache (§3.2.1).
+    pub input_cache: bool,
+}
+
+impl Default for M3ROptions {
+    fn default() -> Self {
+        M3ROptions {
+            worker_threads: 8,
+            dedup: DedupMode::Full,
+            partition_stability: true,
+            input_cache: true,
+        }
+    }
+}
+
+/// The M3R engine: a fixed set of places executing Hadoop jobs in memory.
+pub struct M3REngine {
+    world: Arc<World>,
+    cluster: Cluster,
+    fs: Arc<CachingFs>,
+    opts: M3ROptions,
+    job_seq: u64,
+    /// Distributed-cache bytes survive across jobs in the long-lived
+    /// places (nothing in M3R restarts between jobs).
+    dist_memo: Mutex<HashMap<HPath, Arc<Vec<u8>>>>,
+}
+
+impl M3REngine {
+    /// An engine over `cluster` wrapping `fs` with the M3R cache; one place
+    /// per node, default options.
+    pub fn new(cluster: Cluster, fs: Arc<dyn FileSystem>) -> Self {
+        M3REngine::with_options(cluster, fs, M3ROptions::default())
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(cluster: Cluster, fs: Arc<dyn FileSystem>, opts: M3ROptions) -> Self {
+        assert!(opts.worker_threads >= 1);
+        let places = cluster.len();
+        let cache = KvCache::new(places);
+        M3REngine {
+            world: Arc::new(World::new(places)),
+            fs: Arc::new(CachingFs::new(fs, cache)),
+            cluster,
+            opts,
+            job_seq: 0,
+            dist_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The caching filesystem view jobs should use (also exposes the
+    /// `CacheFS` extension, §4.2.3).
+    pub fn caching_fs(&self) -> &Arc<CachingFs> {
+        &self.fs
+    }
+
+    /// The key/value cache.
+    pub fn cache(&self) -> &KvCache {
+        self.fs.cache()
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.cluster.len()
+    }
+
+    /// Engine options in force.
+    pub fn options(&self) -> &M3ROptions {
+        &self.opts
+    }
+
+    fn place_map(&self) -> PlaceMap {
+        if self.opts.partition_stability {
+            PlaceMap::Stable
+        } else {
+            PlaceMap::Unstable {
+                job_seq: self.job_seq,
+            }
+        }
+    }
+
+    /// Pre-populate the input cache for `paths` (the matvec benchmark
+    /// "pre-populated our cache with the input data" so the one-off load is
+    /// not measured across what stands in for many iterations, §6.2).
+    pub fn prepopulate_cache<K, V>(&self, conf: &JobConf, paths: &[HPath]) -> Result<()>
+    where
+        K: hmr_api::writable::WritableKey,
+        V: hmr_api::writable::WritableValue,
+    {
+        let fmt = hmr_api::io::SequenceFileInputFormat::<K, V>::new();
+        let mut sub = conf.clone();
+        sub.set_input_paths(paths);
+        let splits =
+            hmr_api::io::InputFormat::get_splits(&fmt, &*self.fs, &sub, self.num_places())?;
+        let place_map = PlaceMap::Stable;
+        for (i, split) in splits.iter().enumerate() {
+            let Some(name) = split.cache_name() else {
+                continue;
+            };
+            let Some((path, _)) = cache_target(&name) else {
+                continue;
+            };
+            let place = split
+                .placed_partition()
+                .map(|p| place_map.place_of(p, self.num_places()))
+                .or_else(|| split.locations().first().map(|l| l % self.num_places()))
+                .unwrap_or(i % self.num_places());
+            let mut reader =
+                hmr_api::io::InputFormat::record_reader(&fmt, &*self.fs, split.as_ref(), &sub)?;
+            let mut pairs = Vec::new();
+            while let Some((k, v)) = reader.next()? {
+                pairs.push((Arc::new(k), Arc::new(v)));
+            }
+            self.cache()
+                .put_seq(place, &path, Arc::new(CachedSeq::new(pairs)), split.length());
+        }
+        Ok(())
+    }
+}
+
+/// `"path@offset+len"` → cacheable `(path, Some(len))`; plain names map to
+/// `(path, None)`; non-zero offsets (partial-file splits) are not cacheable.
+fn cache_target(name: &str) -> Option<(HPath, Option<u64>)> {
+    if let Some((path, range)) = name.rsplit_once('@') {
+        let (off, len) = range.split_once('+')?;
+        let off: u64 = off.parse().ok()?;
+        let len: u64 = len.parse().ok()?;
+        if off != 0 {
+            return None;
+        }
+        return Some((HPath::new(path), Some(len)));
+    }
+    Some((HPath::new(name), None))
+}
+
+/// Serialized length a sequence would have as a SequenceFile — the "file
+/// size" reported for temporary outputs that never reach the DFS.
+fn seq_file_len<K: Writable, V: Writable>(pairs: &[(Arc<K>, Arc<V>)]) -> u64 {
+    let mut n = 4u64; // magic
+    let mut scratch = Vec::new();
+    for (k, v) in pairs {
+        let (kl, vl) = (k.serialized_size() as u64, v.serialized_size() as u64);
+        scratch.clear();
+        write_vu64(&mut scratch, kl);
+        write_vu64(&mut scratch, vl);
+        n += scratch.len() as u64 + kl + vl;
+    }
+    n
+}
+
+/// Cross-place state for one running job.
+struct Shared<J: JobDef> {
+    /// Locally shuffled pairs: `local[place][partition]`.
+    local: Vec<Mutex<HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>>>>,
+    /// Serialized remote streams awaiting each destination place.
+    streams: Vec<Mutex<Vec<Vec<u8>>>>,
+    counters: Mutex<Counters>,
+    error: Mutex<Option<HmrError>>,
+    output_records: AtomicU64,
+}
+
+impl<J: JobDef> Shared<J> {
+    fn new(places: usize) -> Self {
+        Shared {
+            local: (0..places).map(|_| Mutex::new(HashMap::new())).collect(),
+            streams: (0..places).map(|_| Mutex::new(Vec::new())).collect(),
+            counters: Mutex::new(Counters::new()),
+            error: Mutex::new(None),
+            output_records: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, r: Result<()>) {
+        if let Err(e) = r {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    }
+
+    fn check(&self) -> Result<()> {
+        match self.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Engine for M3REngine {
+    fn engine_name(&self) -> &'static str {
+        "m3r"
+    }
+
+    fn run_job<J: JobDef>(&mut self, job: Arc<J>, conf: &JobConf) -> Result<JobResult> {
+        self.job_seq += 1;
+        let place_map = self.place_map();
+        let cluster = self.cluster.clone();
+        let nplaces = cluster.len();
+        let t0 = cluster.max_time();
+        let m0 = cluster.metrics().snapshot();
+        let conf = Arc::new(conf.clone());
+
+        // Submission is a fast in-memory hand-off, not a jobtracker round
+        // trip: "small HMR jobs can run essentially instantly on M3R".
+        cluster.node(0).charge(Charge::Barrier);
+
+        let fs = Arc::clone(&self.fs);
+        let input_format = job.input_format(&conf);
+        let splits = simgrid::with_meter(Meter::new(cluster.node(0).clone()), || {
+            input_format.get_splits(&*fs, &conf, nplaces * self.opts.worker_threads)
+        })?;
+        let splits: Arc<Vec<Arc<dyn InputSplit>>> = Arc::new(splits);
+        let num_reducers = conf.num_reduce_tasks();
+        let convert = if num_reducers == 0 {
+            Some(job.map_only_convert().ok_or_else(|| {
+                HmrError::InvalidJob(
+                    "0 reducers requires JobDef::map_only_convert (map-only job)".into(),
+                )
+            })?)
+        } else {
+            None
+        };
+
+        // Distributed cache: loaded bytes persist across jobs in the
+        // long-lived places; only new files are fetched.
+        let dist_cache = {
+            let mut memo = self.dist_memo.lock();
+            let mut entries = Vec::new();
+            for path in conf.cache_files() {
+                let bytes = match memo.get(&path) {
+                    Some(b) => Arc::clone(b),
+                    None => {
+                        let b = simgrid::with_meter(
+                            Meter::new(cluster.node(0).clone()),
+                            || -> Result<Arc<Vec<u8>>> {
+                                Ok(Arc::new(fs.open(&path)?.read_all()?))
+                            },
+                        )?;
+                        memo.insert(path.clone(), Arc::clone(&b));
+                        b
+                    }
+                };
+                entries.push((path, bytes));
+            }
+            Arc::new(DistCache::from_entries(entries))
+        };
+
+        // ---- split → place assignment ---------------------------------------
+        // Priority: PlacedSplit (§4.3) → cached location (§3.2.1) → DFS
+        // locality → round robin.
+        let mut per_place: Vec<Vec<usize>> = vec![Vec::new(); nplaces];
+        for (i, split) in splits.iter().enumerate() {
+            let place = if let Some(p) = split.placed_partition() {
+                place_map.place_of(p, nplaces)
+            } else if let Some(cached) = self
+                .opts
+                .input_cache
+                .then(|| {
+                    split
+                        .cache_name()
+                        .and_then(|n| cache_target(&n))
+                        .and_then(|(path, _)| fs.cache().place_of(&path))
+                })
+                .flatten()
+            {
+                cached
+            } else if let Some(&loc) = split.locations().first() {
+                loc % nplaces
+            } else {
+                i % nplaces
+            };
+            per_place[place].push(i);
+        }
+        let per_place = Arc::new(per_place);
+
+        let shared: Arc<Shared<J>> = Arc::new(Shared::new(nplaces));
+
+        // ---- map phase -------------------------------------------------------
+        let opts = self.opts.clone();
+        self.world.finish(|fin| {
+            for place in 0..nplaces {
+                let job = Arc::clone(&job);
+                let conf = Arc::clone(&conf);
+                let fs = Arc::clone(&fs);
+                let cluster = cluster.clone();
+                let splits = Arc::clone(&splits);
+                let per_place = Arc::clone(&per_place);
+                let shared = Arc::clone(&shared);
+                let dist_cache = Arc::clone(&dist_cache);
+                let convert = convert.clone();
+                let opts = opts.clone();
+                fin.at(place, move |_pc| {
+                    let r = map_phase_at_place(
+                        place, &job, &conf, &fs, &cluster, &splits, &per_place[place],
+                        &shared, &dist_cache, convert, &opts, place_map, num_reducers,
+                    );
+                    shared.record(r);
+                });
+            }
+        });
+        shared.check()?;
+        // "No reducer is allowed to run until globally all shuffle messages
+        // have been sent" — an X10 team barrier.
+        cluster.barrier();
+
+        // ---- reduce phase ----------------------------------------------------
+        if num_reducers > 0 {
+            self.world.finish(|fin| {
+                for place in 0..nplaces {
+                    let job = Arc::clone(&job);
+                    let conf = Arc::clone(&conf);
+                    let fs = Arc::clone(&fs);
+                    let cluster = cluster.clone();
+                    let shared = Arc::clone(&shared);
+                    let dist_cache = Arc::clone(&dist_cache);
+                    let opts = opts.clone();
+                    fin.at(place, move |_pc| {
+                        let r = reduce_phase_at_place(
+                            place, &job, &conf, &fs, &cluster, &shared, &dist_cache,
+                            &opts, place_map, num_reducers,
+                        );
+                        shared.record(r);
+                    });
+                }
+            });
+            shared.check()?;
+            cluster.barrier();
+        }
+
+        // Job commit: _SUCCESS only for outputs that really reach the DFS.
+        let output_format = job.output_format(&conf);
+        if let Some(dir) = output_format.output_path(&conf) {
+            if !conf.is_temp_output(&dir) {
+                let marker = dir.join("_SUCCESS");
+                if !fs.underlying().exists(&marker) {
+                    let w = fs.underlying().create(&marker)?;
+                    w.close()?;
+                }
+            }
+        }
+
+        let t_end = cluster.max_time();
+        for node in cluster.nodes() {
+            node.clock().advance_to(t_end);
+        }
+
+        let counters = shared.counters.lock().clone();
+        Ok(JobResult {
+            sim_time: t_end - t0,
+            counters,
+            metrics: cluster.metrics().snapshot().since(&m0),
+            output_records: shared.output_records.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Everything one place does during the map phase.
+#[allow(clippy::too_many_arguments)]
+fn map_phase_at_place<J: JobDef>(
+    place: usize,
+    job: &Arc<J>,
+    conf: &Arc<JobConf>,
+    fs: &Arc<CachingFs>,
+    cluster: &Cluster,
+    splits: &Arc<Vec<Arc<dyn InputSplit>>>,
+    my_splits: &[usize],
+    shared: &Arc<Shared<J>>,
+    dist_cache: &Arc<DistCache>,
+    convert: Option<hmr_api::job::MapOnlyConvert<J::K2, J::V2, J::K3, J::V3>>,
+    opts: &M3ROptions,
+    place_map: PlaceMap,
+    num_reducers: usize,
+) -> Result<()> {
+    let node = cluster.node(place);
+    let input_format = job.input_format(conf);
+    let output_format = job.output_format(conf);
+    let nplaces = cluster.len();
+    // Streams persist across every mapper at this place: full
+    // de-duplication spans the whole place→place channel.
+    let mut streams: Vec<Option<ShuffleStream>> = (0..nplaces).map(|_| None).collect();
+
+    for wave in my_splits.chunks(opts.worker_threads) {
+        let mut wave_duration = 0.0f64;
+        for &si in wave {
+            let scratch = cluster.scratch_node(place);
+            simgrid::with_meter(Meter::new(scratch.clone()), || {
+                run_map_task(
+                    place, si, job, conf, fs, &*input_format, &*output_format,
+                    splits[si].as_ref(), shared, dist_cache, convert.clone(), opts,
+                    place_map, num_reducers, &mut streams,
+                )
+            })?;
+            wave_duration = wave_duration.max(scratch.clock().now());
+        }
+        node.clock().advance(wave_duration);
+    }
+
+    // Hand finished streams to their destinations; the network cost is
+    // charged at the receiver after the barrier.
+    for (dest, slot) in streams.into_iter().enumerate() {
+        if let Some(stream) = slot {
+            if stream.is_empty() {
+                continue;
+            }
+            let (bytes, stats) = stream.finish();
+            let mut counters = shared.counters.lock();
+            counters.incr(M3R_COUNTER_GROUP, "SHUFFLE_STREAM_BYTES", bytes.len() as i64);
+            counters.incr(M3R_COUNTER_GROUP, "DEDUP_HITS", stats.dedup_hits as i64);
+            counters.incr(
+                M3R_COUNTER_GROUP,
+                "DEDUP_RETAINED_VALUES",
+                stats.values_retained as i64,
+            );
+            drop(counters);
+            shared.streams[dest].lock().push(bytes);
+        }
+    }
+    Ok(())
+}
+
+/// One map task: cache-aware input, real mapper, optional combiner, then
+/// routing into local buckets and remote streams.
+#[allow(clippy::too_many_arguments)]
+fn run_map_task<J: JobDef>(
+    place: usize,
+    si: usize,
+    job: &Arc<J>,
+    conf: &Arc<JobConf>,
+    fs: &Arc<CachingFs>,
+    input_format: &dyn hmr_api::io::InputFormat<J::K1, J::V1>,
+    output_format: &dyn OutputFormat<J::K3, J::V3>,
+    split: &dyn InputSplit,
+    shared: &Arc<Shared<J>>,
+    dist_cache: &Arc<DistCache>,
+    convert: Option<hmr_api::job::MapOnlyConvert<J::K2, J::V2, J::K3, J::V3>>,
+    opts: &M3ROptions,
+    place_map: PlaceMap,
+    num_reducers: usize,
+    streams: &mut [Option<ShuffleStream>],
+) -> Result<()> {
+    let mut ctx = TaskContext::new(
+        format!("m3r_m_{si:06}"),
+        Arc::clone(conf),
+        Arc::clone(dist_cache),
+    );
+    ctx.set_split_tag(hmr_api::multi::split_tag(split));
+
+    // ---- acquire the input sequence (§3.2.1) ----------------------------
+    let target = split.cache_name().and_then(|n| cache_target(&n));
+    let mut pairs: Option<Arc<CachedSeq<J::K1, J::V1>>> = None;
+    if opts.input_cache {
+        if let Some((path, len)) = &target {
+            if let Some(hit) = fs.cache().get_seq::<J::K1, J::V1>(path, *len) {
+                // Cache hit: no RecordReader, no deserialization, no I/O.
+                // A hit at another place pays one network move (the
+                // PlacedSplit remote-read path of §6.1.1).
+                if hit.place != place {
+                    simgrid::meter::charge(Charge::NetTransfer { bytes: hit.meta.len });
+                }
+                ctx.incr_task_counter(
+                    task_counter::CACHE_HIT_RECORDS,
+                    hit.meta.records as i64,
+                );
+                pairs = Some(hit.seq);
+            }
+        }
+    }
+    let pairs = match pairs {
+        Some(p) => p,
+        None => {
+            let mut reader = input_format.record_reader(&**fs, split, conf)?;
+            simgrid::meter::charge(Charge::Deserialize {
+                bytes: split.length(),
+            });
+            let mut v = Vec::new();
+            while let Some((k, val)) = reader.next()? {
+                v.push((Arc::new(k), Arc::new(val)));
+            }
+            let seq = Arc::new(CachedSeq::new(v));
+            if opts.input_cache {
+                if let Some((path, _)) = &target {
+                    // "Before passing it to the mapper, M3R caches the
+                    // key/value pairs in memory."
+                    fs.cache()
+                        .put_seq(place, path, Arc::clone(&seq), split.length());
+                }
+            }
+            seq
+        }
+    };
+
+    // ---- run the mapper ---------------------------------------------------
+    let num_parts = num_reducers.max(1);
+    let mut buffer = MapOutputBuffer::new(
+        num_parts,
+        job.partitioner(conf),
+        job.immutable_output(),
+    );
+    let mut mapper = job.create_mapper(conf);
+    let compute_start = Instant::now();
+    mapper.setup(&mut ctx)?;
+    for (k, v) in &pairs.pairs {
+        mapper.map(Arc::clone(k), Arc::clone(v), &mut buffer, &mut ctx)?;
+    }
+    mapper.cleanup(&mut buffer, &mut ctx)?;
+    simgrid::meter::charge(Charge::Compute {
+        seconds: compute_start.elapsed().as_secs_f64(),
+    });
+    ctx.incr_task_counter(task_counter::MAP_INPUT_RECORDS, pairs.pairs.len() as i64);
+    ctx.incr_task_counter(task_counter::MAP_OUTPUT_RECORDS, buffer.emitted() as i64);
+    let mut parts = buffer.parts;
+
+    // ---- optional combiner --------------------------------------------------
+    if let Some(mut combiner) = job.create_combiner(conf) {
+        let sort_cmp = job.sort_comparator();
+        let group_cmp = job.grouping_comparator();
+        for bucket in parts.iter_mut() {
+            if bucket.len() < 2 {
+                continue;
+            }
+            simgrid::meter::charge(Charge::Sort {
+                records: bucket.len() as u64,
+            });
+            let mut sorted = std::mem::take(bucket);
+            sort_pairs_by(&mut sorted, &sort_cmp);
+            ctx.incr_task_counter(task_counter::COMBINE_INPUT_RECORDS, sorted.len() as i64);
+            let mut out: hmr_api::collect::VecCollector<J::K2, J::V2> =
+                hmr_api::collect::VecCollector::new();
+            for span in group_spans(&sorted, &group_cmp) {
+                let key = Arc::clone(&sorted[span.start].0);
+                let mut values = sorted[span.clone()].iter().map(|(_, v)| Arc::clone(v));
+                combiner.reduce(key, &mut values, &mut out, &mut ctx)?;
+            }
+            ctx.incr_task_counter(
+                task_counter::COMBINE_OUTPUT_RECORDS,
+                out.pairs.len() as i64,
+            );
+            *bucket = out.pairs;
+        }
+    }
+
+    // ---- map-only: straight to output (§5.3) --------------------------------
+    if let Some(convert) = convert {
+        let all: Vec<(Arc<J::K2>, Arc<J::V2>)> = parts.into_iter().flatten().collect();
+        let converted: Vec<(Arc<J::K3>, Arc<J::V3>)> =
+            all.into_iter().map(|(k, v)| convert(k, v)).collect();
+        let records = converted.len() as u64;
+        write_and_cache_output(
+            place, si, conf, fs, output_format, converted, job.immutable_output(),
+        )?;
+        shared.output_records.fetch_add(records, Ordering::Relaxed);
+        shared.counters.lock().merge(&ctx.into_counters());
+        return Ok(());
+    }
+
+    // ---- route: local buckets vs remote streams (§3.2.2) --------------------
+    let mut local_n = 0i64;
+    let mut remote_n = 0i64;
+    {
+        let mut local = shared.local[place].lock();
+        for (p, bucket) in parts.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let dest = place_map.place_of(p, cluster_places(streams));
+            if dest == place {
+                local_n += bucket.len() as i64;
+                local.entry(p).or_default().extend(bucket);
+            } else {
+                remote_n += bucket.len() as i64;
+                let stream =
+                    streams[dest].get_or_insert_with(|| ShuffleStream::new(opts.dedup));
+                let before = stream.len();
+                for (k, v) in &bucket {
+                    stream.push(p, k, v);
+                }
+                simgrid::meter::charge(Charge::Serialize {
+                    bytes: (stream.len() - before) as u64,
+                });
+            }
+        }
+    }
+    ctx.incr_task_counter(task_counter::LOCAL_SHUFFLED_RECORDS, local_n);
+    ctx.incr_task_counter(task_counter::REMOTE_SHUFFLED_RECORDS, remote_n);
+    shared.counters.lock().merge(&ctx.into_counters());
+    Ok(())
+}
+
+fn cluster_places(streams: &[Option<ShuffleStream>]) -> usize {
+    streams.len()
+}
+
+/// Everything one place does during the reduce phase.
+#[allow(clippy::too_many_arguments)]
+fn reduce_phase_at_place<J: JobDef>(
+    place: usize,
+    job: &Arc<J>,
+    conf: &Arc<JobConf>,
+    fs: &Arc<CachingFs>,
+    cluster: &Cluster,
+    shared: &Arc<Shared<J>>,
+    dist_cache: &Arc<DistCache>,
+    opts: &M3ROptions,
+    place_map: PlaceMap,
+    num_reducers: usize,
+) -> Result<()> {
+    let node = cluster.node(place);
+    let nplaces = cluster.len();
+    let output_format = job.output_format(conf);
+
+    // Receive remote streams: network + deserialization, charged here — the
+    // receiving place does this work after the shuffle barrier.
+    let incoming: Vec<Vec<u8>> = std::mem::take(&mut *shared.streams[place].lock());
+    let mut remote: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> = HashMap::new();
+    simgrid::with_meter(Meter::new(node.clone()), || -> Result<()> {
+        for bytes in &incoming {
+            simgrid::meter::charge(Charge::NetTransfer {
+                bytes: bytes.len() as u64,
+            });
+            simgrid::meter::charge(Charge::Deserialize {
+                bytes: bytes.len() as u64,
+            });
+            for (p, k, v) in decode_stream::<J::K2, J::V2>(bytes)? {
+                remote.entry(p).or_default().push((k, v));
+            }
+        }
+        Ok(())
+    })?;
+    let mut local = std::mem::take(&mut *shared.local[place].lock());
+
+    let my_parts: Vec<usize> = (0..num_reducers)
+        .filter(|p| place_map.place_of(*p, nplaces) == place)
+        .collect();
+
+    for wave in my_parts.chunks(opts.worker_threads) {
+        let mut wave_duration = 0.0f64;
+        for &p in wave {
+            let mut pairs = local.remove(&p).unwrap_or_default();
+            if let Some(r) = remote.remove(&p) {
+                pairs.extend(r);
+            }
+            let scratch = cluster.scratch_node(place);
+            simgrid::with_meter(Meter::new(scratch.clone()), || {
+                run_reduce_partition(
+                    place, p, job, conf, fs, &*output_format, pairs, shared, dist_cache,
+                )
+            })?;
+            wave_duration = wave_duration.max(scratch.clock().now());
+        }
+        node.clock().advance(wave_duration);
+    }
+    Ok(())
+}
+
+/// Reduce-side collector: main-output pairs accumulate in memory (for the
+/// cache and the deferred DFS write); named side outputs (`MultipleOutputs`,
+/// §4.2.2) stream straight to their writers and bypass the cache.
+struct ReduceCollector<'a, K, V> {
+    main: Vec<(Arc<K>, Arc<V>)>,
+    named: HashMap<String, Box<dyn hmr_api::io::RecordWriter<K, V>>>,
+    format: &'a dyn OutputFormat<K, V>,
+    fs: &'a CachingFs,
+    conf: &'a JobConf,
+    partition: usize,
+}
+
+impl<K: Writable, V: Writable> ReduceCollector<'_, K, V> {
+    fn close(self) -> Result<Vec<(Arc<K>, Arc<V>)>> {
+        for (_, w) in self.named {
+            w.close()?;
+        }
+        Ok(self.main)
+    }
+}
+
+impl<K: Writable, V: Writable> hmr_api::collect::OutputCollector<K, V>
+    for ReduceCollector<'_, K, V>
+{
+    fn collect(&mut self, key: Arc<K>, value: Arc<V>) -> Result<()> {
+        self.main.push((key, value));
+        Ok(())
+    }
+
+    fn collect_named(&mut self, name: &str, key: Arc<K>, value: Arc<V>) -> Result<()> {
+        if !self.named.contains_key(name) {
+            let w = self
+                .format
+                .record_writer_named(self.fs, self.conf, name, self.partition)?;
+            self.named.insert(name.to_string(), w);
+        }
+        simgrid::meter::charge(Charge::Serialize {
+            bytes: (key.serialized_size() + value.serialized_size()) as u64,
+        });
+        self.named
+            .get_mut(name)
+            .expect("inserted above")
+            .write(&key, &value)
+    }
+}
+
+/// One reduce partition: in-memory sort + group, real reducer, cache the
+/// output (and write to the DFS unless the output is temporary, §4.2.3).
+#[allow(clippy::too_many_arguments)]
+fn run_reduce_partition<J: JobDef>(
+    place: usize,
+    partition: usize,
+    job: &Arc<J>,
+    conf: &Arc<JobConf>,
+    fs: &Arc<CachingFs>,
+    output_format: &dyn OutputFormat<J::K3, J::V3>,
+    mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)>,
+    shared: &Arc<Shared<J>>,
+    dist_cache: &Arc<DistCache>,
+) -> Result<()> {
+    let mut ctx = TaskContext::new(
+        format!("m3r_r_{partition:06}"),
+        Arc::clone(conf),
+        Arc::clone(dist_cache),
+    );
+    ctx.set_partition(Some(partition));
+
+    simgrid::meter::charge(Charge::Sort {
+        records: pairs.len() as u64,
+    });
+    let sort_cmp = job.sort_comparator();
+    sort_pairs_by(&mut pairs, &sort_cmp);
+    let group_cmp = job.grouping_comparator();
+    let spans = group_spans(&pairs, &group_cmp);
+    ctx.incr_task_counter(task_counter::REDUCE_INPUT_RECORDS, pairs.len() as i64);
+    ctx.incr_task_counter(task_counter::REDUCE_INPUT_GROUPS, spans.len() as i64);
+
+    let mut out = ReduceCollector {
+        main: Vec::new(),
+        named: HashMap::new(),
+        format: output_format,
+        fs,
+        conf,
+        partition,
+    };
+    let mut reducer = job.create_reducer(conf);
+    let compute_start = Instant::now();
+    reducer.setup(&mut ctx)?;
+    for span in spans {
+        let key = Arc::clone(&pairs[span.start].0);
+        let mut values = pairs[span.clone()].iter().map(|(_, v)| Arc::clone(v));
+        reducer.reduce(key, &mut values, &mut out, &mut ctx)?;
+    }
+    reducer.cleanup(&mut out, &mut ctx)?;
+    simgrid::meter::charge(Charge::Compute {
+        seconds: compute_start.elapsed().as_secs_f64(),
+    });
+
+    let main_pairs = out.close()?;
+    let records = main_pairs.len() as u64;
+    ctx.incr_task_counter(task_counter::REDUCE_OUTPUT_RECORDS, records as i64);
+    write_and_cache_output(
+        place,
+        partition,
+        conf,
+        fs,
+        output_format,
+        main_pairs,
+        job.immutable_output(),
+    )?;
+    shared.output_records.fetch_add(records, Ordering::Relaxed);
+    shared.counters.lock().merge(&ctx.into_counters());
+    Ok(())
+}
+
+/// Output handling shared by reducers and map-only mappers: cache the
+/// sequence at this place under the part file's name; write it to the DFS
+/// through the RecordWriter unless the output is temporary.
+fn write_and_cache_output<K3, V3>(
+    place: usize,
+    partition: usize,
+    conf: &Arc<JobConf>,
+    fs: &Arc<CachingFs>,
+    output_format: &dyn OutputFormat<K3, V3>,
+    pairs: Vec<(Arc<K3>, Arc<V3>)>,
+    immutable: bool,
+) -> Result<()>
+where
+    K3: Writable + Clone + Send + Sync,
+    V3: Writable + Clone + Send + Sync,
+{
+    // Reducer output is subject to the same reuse contract as mapper
+    // output: without ImmutableOutput the cache must hold copies.
+    let pairs: Vec<(Arc<K3>, Arc<V3>)> = if immutable {
+        pairs
+    } else {
+        pairs
+            .into_iter()
+            .map(|(k, v)| {
+                simgrid::meter::charge(Charge::Clone {
+                    bytes: (k.serialized_size() + v.serialized_size()) as u64,
+                });
+                simgrid::meter::charge(Charge::Alloc { objects: 2 });
+                (Arc::new((*k).clone()), Arc::new((*v).clone()))
+            })
+            .collect()
+    };
+
+    let Some(dir) = output_format.output_path(conf) else {
+        // Un-nameable output (§4.2.1): write through, bypass the cache.
+        let mut writer = output_format.record_writer(&**fs, conf, partition)?;
+        for (k, v) in &pairs {
+            simgrid::meter::charge(Charge::Serialize {
+                bytes: (k.serialized_size() + v.serialized_size()) as u64,
+            });
+            writer.write(k, v)?;
+        }
+        writer.close()?;
+        return Ok(());
+    };
+    let part_path = dir.join(&part_file_name(partition));
+    let is_temp = conf.is_temp_output(&dir);
+
+    let len = if is_temp {
+        // "If the output data is determined to be temporary ... the data
+        // does not even need to be flushed to disk."
+        seq_file_len(&pairs)
+    } else {
+        let mut writer = output_format.record_writer(&**fs, conf, partition)?;
+        for (k, v) in &pairs {
+            simgrid::meter::charge(Charge::Serialize {
+                bytes: (k.serialized_size() + v.serialized_size()) as u64,
+            });
+            writer.write(k, v)?;
+        }
+        writer.close()?;
+        fs.underlying()
+            .get_file_status(&part_path)
+            .map(|s| s.len)
+            .unwrap_or_else(|_| seq_file_len(&pairs))
+    };
+    fs.cache()
+        .put_seq(place, &part_path, Arc::new(CachedSeq::new(pairs)), len);
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! Server mode (paper §5.3).
+//!
+//! "M3R also supports a (still somewhat experimental) server mode. In this
+//! mode, M3R starts up and registers an IPC server that implements the
+//! Hadoop JobTracker protocol. Clients can submit jobs as usual, and the
+//! M3R server ... will run the job. It is possible to simply replace the
+//! Hadoop server daemon with the M3R one." The paper ran all of BigSheets
+//! this way, unmodified.
+//!
+//! Here the "IPC" is a channel: [`M3RServer`] owns the engine on a daemon
+//! thread; any number of [`M3RClient`]s (cheaply cloneable, shareable
+//! across threads) submit jobs and block for results, exactly like Hadoop
+//! `JobClient.runJob`. All clients share one engine — and therefore one
+//! cache and one set of long-lived places, so jobs submitted by *different
+//! clients* still pipeline through memory.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use hmr_api::conf::JobConf;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::job::{Engine, JobDef, JobResult};
+
+use crate::engine::M3REngine;
+
+type ServerJob = Box<dyn FnOnce(&mut M3REngine) + Send>;
+
+enum Msg {
+    Run(ServerJob),
+    Shutdown,
+}
+
+/// The M3R daemon: owns the engine, serves submissions until shut down.
+pub struct M3RServer {
+    tx: mpsc::Sender<Msg>,
+    thread: Option<JoinHandle<M3REngine>>,
+}
+
+impl M3RServer {
+    /// Start the daemon on a fresh thread, taking ownership of `engine`
+    /// (the places stay alive for the server's whole life).
+    pub fn start(mut engine: M3REngine) -> Self {
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let thread = std::thread::Builder::new()
+            .name("m3r-server".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Run(job) => job(&mut engine),
+                        Msg::Shutdown => break,
+                    }
+                }
+                engine
+            })
+            .expect("spawn m3r server thread");
+        M3RServer {
+            tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// A submission handle. Clone freely; hand to any thread.
+    pub fn client(&self) -> M3RClient {
+        M3RClient {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Stop the daemon and take the engine back (cache and all) — the
+    /// moral equivalent of stopping the Hadoop daemon and restarting it on
+    /// the same port (§5.3's swap-in story, reversed).
+    pub fn shutdown(mut self) -> M3REngine {
+        let _ = self.tx.send(Msg::Shutdown);
+        self.thread
+            .take()
+            .expect("server not yet shut down")
+            .join()
+            .expect("server thread panicked")
+    }
+}
+
+impl Drop for M3RServer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A client handle speaking the "jobtracker protocol" to an [`M3RServer`].
+#[derive(Clone)]
+pub struct M3RClient {
+    tx: mpsc::Sender<Msg>,
+}
+
+impl M3RClient {
+    /// Submit a job and block until it completes (Hadoop
+    /// `JobClient.runJob` semantics).
+    pub fn run_job<J: JobDef>(&self, job: std::sync::Arc<J>, conf: &JobConf) -> Result<JobResult> {
+        let (done_tx, done_rx) = mpsc::channel();
+        let conf = conf.clone();
+        let task: ServerJob = Box::new(move |engine| {
+            let r = engine.run_job(job, &conf);
+            let _ = done_tx.send(r);
+        });
+        self.tx
+            .send(Msg::Run(task))
+            .map_err(|_| HmrError::Io("m3r server is down".into()))?;
+        done_rx
+            .recv()
+            .map_err(|_| HmrError::Io("m3r server dropped the job".into()))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repartition::RepartitionJob;
+    use hmr_api::counters::task_counter;
+    use hmr_api::io::seqfile::write_seq_file;
+    use hmr_api::partition::HashPartitioner;
+    use hmr_api::writable::{IntWritable, Text};
+    use hmr_api::HPath;
+    use simdfs::SimDfs;
+    use simgrid::{Cluster, CostModel};
+    use std::sync::Arc;
+
+    fn id_job() -> Arc<RepartitionJob<IntWritable, Text>> {
+        Arc::new(RepartitionJob::new(|| Box::new(HashPartitioner)))
+    }
+
+    fn conf(input: &str, output: &str) -> JobConf {
+        let mut c = JobConf::new();
+        c.add_input_path(&HPath::new(input));
+        c.set_output_path(&HPath::new(output));
+        c.set_num_reduce_tasks(2);
+        c
+    }
+
+    #[test]
+    fn clients_share_one_engine_and_cache() {
+        let cluster = Cluster::new(2, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+        let records: Vec<(IntWritable, Text)> = (0..20)
+            .map(|i| (IntWritable(i), Text::from(format!("v{i}"))))
+            .collect();
+        write_seq_file(&fs, &HPath::new("/in/part-00000"), &records).unwrap();
+
+        let server = M3RServer::start(M3REngine::new(cluster, Arc::new(fs.clone())));
+        let c1 = server.client();
+        let c2 = server.client();
+
+        // Client 1 reads /in (cold); client 2's job over the same input is
+        // served from the cache client 1 populated — one engine, one heap.
+        let r1 = c1.run_job(id_job(), &conf("/in", "/o1")).unwrap();
+        assert_eq!(r1.counters.task(task_counter::CACHE_HIT_RECORDS), 0);
+        let r2 = c2.run_job(id_job(), &conf("/in", "/o2")).unwrap();
+        assert_eq!(r2.counters.task(task_counter::CACHE_HIT_RECORDS), 20);
+
+        // Shutdown returns the warm engine, cache intact.
+        let engine = server.shutdown();
+        assert!(engine.cache().total_bytes() > 0);
+    }
+
+    #[test]
+    fn concurrent_clients_serialize_through_the_server() {
+        let cluster = Cluster::new(2, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+        let records: Vec<(IntWritable, Text)> = (0..8)
+            .map(|i| (IntWritable(i), Text::from("x")))
+            .collect();
+        write_seq_file(&fs, &HPath::new("/in/part-00000"), &records).unwrap();
+        let server = M3RServer::start(M3REngine::new(cluster, Arc::new(fs.clone())));
+
+        std::thread::scope(|s| {
+            for t in 0..6 {
+                let client = server.client();
+                s.spawn(move || {
+                    let r = client
+                        .run_job(id_job(), &conf("/in", &format!("/out{t}")))
+                        .unwrap();
+                    assert_eq!(r.output_records, 8);
+                });
+            }
+        });
+        use hmr_api::fs::FileSystem;
+        for t in 0..6 {
+            assert!(fs.exists(&HPath::new(format!("/out{t}/part-00000"))));
+        }
+    }
+
+    #[test]
+    fn submitting_after_shutdown_fails_cleanly() {
+        let cluster = Cluster::new(1, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 1);
+        let server = M3RServer::start(M3REngine::new(cluster, Arc::new(fs)));
+        let client = server.client();
+        drop(server);
+        let err = client.run_job(id_job(), &conf("/in", "/out")).unwrap_err();
+        assert!(matches!(err, HmrError::Io(_)));
+    }
+}

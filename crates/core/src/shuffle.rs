@@ -1,0 +1,368 @@
+//! The in-memory shuffle (paper §3.2.2).
+//!
+//! Three cost regimes, all observable in the metrics:
+//! * **local, `ImmutableOutput`** — the emitted `Arc`s flow straight from
+//!   mapper to reducer: zero copies, zero serialization, zero network;
+//! * **local, default** — M3R "conservatively make\[s\] a copy of every
+//!   key/value pair" (§3.2.2.1) because the Hadoop API permits reuse after
+//!   emit: a deep clone is charged, nothing else;
+//! * **remote** — pairs are serialized with X10's de-duplicating protocol
+//!   (§3.2.2.3) into one stream per (source place, destination place) and
+//!   moved over the network after the map barrier.
+
+use std::sync::Arc;
+
+use hmr_api::collect::OutputCollector;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::partition::Partitioner;
+use hmr_api::writable::{ByteReader, Writable};
+use simgrid::cost::Charge;
+use simgrid::meter;
+use x10rt::serialize::{DedupMode, Deserializer, SerError, Serializer};
+
+/// Map-task-side collector: partitions emitted pairs, applying the
+/// `ImmutableOutput` cloning contract at emit time.
+pub struct MapOutputBuffer<K, V> {
+    partitioner: Box<dyn Partitioner<K, V>>,
+    num_partitions: usize,
+    immutable: bool,
+    /// Per-partition emitted pairs.
+    pub parts: Vec<Vec<(Arc<K>, Arc<V>)>>,
+    emitted: u64,
+}
+
+impl<K, V> MapOutputBuffer<K, V>
+where
+    K: Writable + Clone,
+    V: Writable + Clone,
+{
+    /// A buffer for `num_partitions` partitions.
+    pub fn new(
+        num_partitions: usize,
+        partitioner: Box<dyn Partitioner<K, V>>,
+        immutable: bool,
+    ) -> Self {
+        MapOutputBuffer {
+            partitioner,
+            num_partitions: num_partitions.max(1),
+            immutable,
+            parts: (0..num_partitions.max(1)).map(|_| Vec::new()).collect(),
+            emitted: 0,
+        }
+    }
+
+    /// Pairs emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl<K, V> OutputCollector<K, V> for MapOutputBuffer<K, V>
+where
+    K: Writable + Clone,
+    V: Writable + Clone,
+{
+    fn collect(&mut self, key: Arc<K>, value: Arc<V>) -> Result<()> {
+        let p = self
+            .partitioner
+            .partition(&key, &value, self.num_partitions);
+        if p >= self.num_partitions {
+            return Err(HmrError::InvalidJob(format!(
+                "partitioner returned {p} for {} partitions",
+                self.num_partitions
+            )));
+        }
+        let (key, value) = if self.immutable {
+            // §4.1: the job promised not to mutate emitted values; alias.
+            (key, value)
+        } else {
+            // §3.2.2.1: "this forces M3R to conservatively make a copy of
+            // every key/value pair."
+            let bytes = (key.serialized_size() + value.serialized_size()) as u64;
+            meter::charge(Charge::Clone { bytes });
+            meter::charge(Charge::Alloc { objects: 2 });
+            (Arc::new((*key).clone()), Arc::new((*value).clone()))
+        };
+        self.parts[p].push((key, value));
+        self.emitted += 1;
+        Ok(())
+    }
+}
+
+/// One remote shuffle stream under construction: place *P* → place *Q*,
+/// shared by every mapper running at *P* (full de-duplication spans them).
+pub struct ShuffleStream {
+    ser: Serializer,
+}
+
+impl ShuffleStream {
+    /// An empty stream using `mode`.
+    pub fn new(mode: DedupMode) -> Self {
+        ShuffleStream {
+            ser: Serializer::new(mode),
+        }
+    }
+
+    /// Append one `(partition, key, value)` record.
+    pub fn push<K: Writable + Send + Sync, V: Writable + Send + Sync>(
+        &mut self,
+        partition: usize,
+        key: &Arc<K>,
+        value: &Arc<V>,
+    ) {
+        self.ser.write_u32(partition as u32);
+        self.ser.write_arc_with(key, |k, buf| k.write_to(buf));
+        self.ser.write_arc_with(value, |v, buf| v.write_to(buf));
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.ser.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ser.is_empty()
+    }
+
+    /// Finish the stream: bytes + stats.
+    pub fn finish(self) -> (Vec<u8>, x10rt::serialize::SerStats) {
+        self.ser.finish()
+    }
+}
+
+fn ser_err(e: SerError) -> HmrError {
+    HmrError::Serde(e.to_string())
+}
+
+fn read_writable<T: Writable>(d: &mut Deserializer<'_>) -> std::result::Result<T, SerError> {
+    let mut br = ByteReader::new(d.rest());
+    let v = T::read_from(&mut br).map_err(|e| SerError::Custom(e.to_string()))?;
+    let used = br.position();
+    d.advance(used)?;
+    Ok(v)
+}
+
+/// Decode a whole shuffle stream into `(partition, key, value)` records.
+/// Back-references reconstruct aliases: a value broadcast to many
+/// partitions deserializes into many `Arc`s of one allocation.
+pub fn decode_stream<K, V>(bytes: &[u8]) -> Result<Vec<(usize, Arc<K>, Arc<V>)>>
+where
+    K: Writable + Send + Sync,
+    V: Writable + Send + Sync,
+{
+    let mut d = Deserializer::new(bytes);
+    let mut out = Vec::new();
+    while d.remaining() > 0 {
+        let p = d.read_u32().map_err(ser_err)? as usize;
+        let k = d.read_arc_with(read_writable::<K>).map_err(ser_err)?;
+        let v = d.read_arc_with(read_writable::<V>).map_err(ser_err)?;
+        out.push((p, k, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmr_api::partition::FnPartitioner;
+    use hmr_api::writable::{BytesWritable, IntWritable};
+
+    fn modulo_partitioner() -> Box<dyn Partitioner<IntWritable, BytesWritable>> {
+        Box::new(FnPartitioner::new(|k: &IntWritable, _: &BytesWritable, n| {
+            k.0 as usize % n
+        }))
+    }
+
+    #[test]
+    fn immutable_buffer_aliases() {
+        let mut buf = MapOutputBuffer::new(4, modulo_partitioner(), true);
+        let k = Arc::new(IntWritable(5));
+        let v = Arc::new(BytesWritable(vec![1, 2, 3]));
+        buf.collect(Arc::clone(&k), Arc::clone(&v)).unwrap();
+        assert!(Arc::ptr_eq(&buf.parts[1][0].0, &k));
+        assert!(Arc::ptr_eq(&buf.parts[1][0].1, &v));
+    }
+
+    #[test]
+    fn mutable_buffer_copies_and_charges() {
+        let cluster = simgrid::Cluster::new(1, simgrid::CostModel::default());
+        let k = Arc::new(IntWritable(5));
+        let v = Arc::new(BytesWritable(vec![1, 2, 3]));
+        let before = cluster.metrics().snapshot();
+        simgrid::with_meter(simgrid::Meter::new(cluster.node(0).clone()), || {
+            let mut buf = MapOutputBuffer::new(4, modulo_partitioner(), false);
+            buf.collect(Arc::clone(&k), Arc::clone(&v)).unwrap();
+            assert!(!Arc::ptr_eq(&buf.parts[1][0].0, &k), "defensive copy");
+            assert_eq!(*buf.parts[1][0].1, *v, "copy equals the original");
+        });
+        let d = cluster.metrics().snapshot().since(&before);
+        assert!(d.clone_bytes > 0, "clone cost charged");
+        assert_eq!(d.allocs, 2);
+        assert_eq!(d.ser_bytes, 0, "local path never serializes");
+    }
+
+    #[test]
+    fn stream_roundtrip_with_partitions() {
+        let mut s = ShuffleStream::new(DedupMode::Off);
+        for i in 0..10 {
+            s.push(
+                i % 3,
+                &Arc::new(IntWritable(i as i32)),
+                &Arc::new(BytesWritable(vec![i as u8])),
+            );
+        }
+        let (bytes, _) = s.finish();
+        let recs = decode_stream::<IntWritable, BytesWritable>(&bytes).unwrap();
+        assert_eq!(recs.len(), 10);
+        for (i, (p, k, v)) in recs.iter().enumerate() {
+            assert_eq!(*p, i % 3);
+            assert_eq!(k.0, i as i32);
+            assert_eq!(v.0, vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn broadcast_value_deduplicates_and_aliases_on_arrival() {
+        // The matvec broadcast idiom: one V block sent to every partition.
+        let v = Arc::new(BytesWritable(vec![9u8; 1000]));
+        let mut s = ShuffleStream::new(DedupMode::Full);
+        for p in 0..20 {
+            s.push(p, &Arc::new(IntWritable(p as i32)), &v);
+        }
+        let (bytes, stats) = s.finish();
+        assert_eq!(stats.dedup_hits, 19, "19 of 20 copies replaced by backrefs");
+        assert!(
+            (bytes.len() as u64) < 2_200,
+            "~1 payload + framing, got {}",
+            bytes.len()
+        );
+        let recs = decode_stream::<IntWritable, BytesWritable>(&bytes).unwrap();
+        assert_eq!(recs.len(), 20);
+        for w in recs.windows(2) {
+            assert!(
+                Arc::ptr_eq(&w[0].2, &w[1].2),
+                "receiver holds aliases of one copy"
+            );
+        }
+    }
+
+    #[test]
+    fn consecutive_mode_still_catches_broadcast_loops() {
+        // §6.3's proposed fix: the broadcast value repeats with only a
+        // fresh key between occurrences, which the sliding window catches —
+        // while memory stays O(1) instead of O(values sent).
+        let v = Arc::new(BytesWritable(vec![7u8; 500]));
+        let mut s = ShuffleStream::new(DedupMode::Consecutive);
+        for p in 0..10 {
+            s.push(p, &Arc::new(IntWritable(p as i32)), &v);
+        }
+        let (bytes, stats) = s.finish();
+        assert_eq!(stats.dedup_hits, 9, "value sent once, 9 backrefs");
+        assert!(stats.values_retained <= 4, "O(1) retention");
+        let recs = decode_stream::<IntWritable, BytesWritable>(&bytes).unwrap();
+        assert_eq!(recs.len(), 10);
+        for w in recs.windows(2) {
+            assert!(Arc::ptr_eq(&w[0].2, &w[1].2));
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let mut s = ShuffleStream::new(DedupMode::Off);
+        s.push(0, &Arc::new(IntWritable(1)), &Arc::new(BytesWritable(vec![1])));
+        let (mut bytes, _) = s.finish();
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_stream::<IntWritable, BytesWritable>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_partition_from_partitioner_is_rejected() {
+        let mut buf: MapOutputBuffer<IntWritable, BytesWritable> = MapOutputBuffer::new(
+            2,
+            Box::new(FnPartitioner::new(|_: &IntWritable, _: &BytesWritable, _| 7)),
+            true,
+        );
+        assert!(buf
+            .collect(Arc::new(IntWritable(0)), Arc::new(BytesWritable(vec![])))
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use hmr_api::writable::{BytesWritable, IntWritable};
+    use proptest::prelude::*;
+
+    fn mode_strategy() -> impl Strategy<Value = DedupMode> {
+        prop_oneof![
+            Just(DedupMode::Full),
+            Just(DedupMode::Consecutive),
+            Just(DedupMode::Off),
+        ]
+    }
+
+    proptest! {
+        /// Streams decode back to exactly what was pushed, in order, for
+        /// every de-duplication mode and any aliasing pattern (shared Arcs
+        /// simulate broadcast reuse).
+        #[test]
+        fn stream_roundtrips_under_all_modes(
+            records in proptest::collection::vec(
+                (0usize..8, 0u8..4, proptest::collection::vec(any::<u8>(), 0..16)),
+                0..80,
+            ),
+            mode in mode_strategy(),
+        ) {
+            // A small pool of shared values: index 0..4 alias each other.
+            let pool: Vec<Arc<BytesWritable>> = (0..4)
+                .map(|i| Arc::new(BytesWritable(vec![i as u8; 8])))
+                .collect();
+            let mut stream = ShuffleStream::new(mode);
+            let mut expect = Vec::new();
+            for (p, pool_idx, fresh) in &records {
+                // Alternate between pooled (aliased) and fresh values.
+                let value = if fresh.is_empty() {
+                    Arc::clone(&pool[*pool_idx as usize])
+                } else {
+                    Arc::new(BytesWritable(fresh.clone()))
+                };
+                let key = Arc::new(IntWritable(*p as i32));
+                stream.push(*p, &key, &value);
+                expect.push((*p, key.0, value.0.clone()));
+            }
+            let (bytes, stats) = stream.finish();
+            let decoded = decode_stream::<IntWritable, BytesWritable>(&bytes).unwrap();
+            prop_assert_eq!(decoded.len(), expect.len());
+            for ((p, k, v), (ep, ek, ev)) in decoded.iter().zip(&expect) {
+                prop_assert_eq!(p, ep);
+                prop_assert_eq!(k.0, *ek);
+                prop_assert_eq!(&v.0, ev);
+            }
+            // Dedup can only ever shrink the stream.
+            if mode == DedupMode::Off {
+                prop_assert_eq!(stats.dedup_hits, 0);
+            }
+        }
+
+        /// Full de-duplication never sends more payload bytes than Off.
+        #[test]
+        fn full_dedup_never_larger(
+            repeats in 1usize..40,
+        ) {
+            let v = Arc::new(BytesWritable(vec![7u8; 64]));
+            let sizes: Vec<u64> = [DedupMode::Full, DedupMode::Off]
+                .iter()
+                .map(|mode| {
+                    let mut s = ShuffleStream::new(*mode);
+                    for i in 0..repeats {
+                        s.push(i % 4, &Arc::new(IntWritable(i as i32)), &v);
+                    }
+                    s.finish().1.total_bytes
+                })
+                .collect();
+            prop_assert!(sizes[0] <= sizes[1]);
+        }
+    }
+}

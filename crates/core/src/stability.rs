@@ -1,0 +1,91 @@
+//! Partition stability (paper §3.2.2.2, §4.3).
+//!
+//! "M3R provides programs with the following partition stability guarantee:
+//! for a given number of reducers, the mapping from partitions to places is
+//! deterministic." Hadoop deliberately withholds this (it wants freedom to
+//! restart reducers elsewhere); M3R trades that freedom for locality.
+//!
+//! [`PlaceMap::Unstable`] models Hadoop's dynamic behaviour for ablation
+//! benches: a per-job pseudo-random assignment, so consecutive jobs send
+//! the "same" partition to different places and locality-aware algorithms
+//! lose their guarantee.
+
+/// How partitions map to places.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaceMap {
+    /// The M3R guarantee: partition `p` always lives at place `p % places`.
+    Stable,
+    /// Ablation: a deterministic but per-job-different scramble, seeded by
+    /// the job's sequence number — Hadoop's "assignment of partitions to
+    /// hosts is very different \[arbitrary\]" (§6.1.1).
+    Unstable {
+        /// Sequence number of the job (engine-maintained).
+        job_seq: u64,
+    },
+}
+
+impl PlaceMap {
+    /// The place that runs partition `p`'s reducer (and caches its output).
+    pub fn place_of(&self, partition: usize, places: usize) -> usize {
+        debug_assert!(places >= 1);
+        match self {
+            PlaceMap::Stable => partition % places,
+            PlaceMap::Unstable { job_seq } => {
+                // splitmix64-style scramble of (partition, job_seq).
+                let mut x = (partition as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(job_seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                (x % places as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_map_is_deterministic_across_jobs() {
+        for p in 0..100 {
+            assert_eq!(
+                PlaceMap::Stable.place_of(p, 7),
+                PlaceMap::Stable.place_of(p, 7)
+            );
+            assert_eq!(PlaceMap::Stable.place_of(p, 7), p % 7);
+        }
+    }
+
+    #[test]
+    fn unstable_map_changes_between_jobs() {
+        let a = PlaceMap::Unstable { job_seq: 1 };
+        let b = PlaceMap::Unstable { job_seq: 2 };
+        let moved = (0..64)
+            .filter(|&p| a.place_of(p, 8) != b.place_of(p, 8))
+            .count();
+        assert!(moved > 16, "most partitions should move between jobs: {moved}");
+    }
+
+    #[test]
+    fn unstable_map_is_deterministic_within_a_job() {
+        let m = PlaceMap::Unstable { job_seq: 42 };
+        for p in 0..64 {
+            assert_eq!(m.place_of(p, 8), m.place_of(p, 8));
+        }
+    }
+
+    #[test]
+    fn all_places_in_range() {
+        for places in 1..10 {
+            for p in 0..50 {
+                assert!(PlaceMap::Stable.place_of(p, places) < places);
+                assert!(
+                    PlaceMap::Unstable { job_seq: 9 }.place_of(p, places) < places
+                );
+            }
+        }
+    }
+}

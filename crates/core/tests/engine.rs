@@ -1,0 +1,646 @@
+//! Engine-level tests for M3R: the paper's qualitative claims, asserted on
+//! real job runs over the simulated cluster.
+
+use std::sync::Arc;
+
+use hmr_api::collect::OutputCollector;
+use hmr_api::comparator::KeyComparator;
+use hmr_api::conf::JobConf;
+use hmr_api::counters::{task_counter, TaskContext};
+use hmr_api::error::Result;
+use hmr_api::fs::FileSystem;
+use hmr_api::io::seqfile::{read_seq_file, write_seq_file};
+use hmr_api::io::{InputFormat, OutputFormat, SequenceFileInputFormat, SequenceFileOutputFormat};
+use hmr_api::job::{Engine, JobDef};
+use hmr_api::partition::{FnPartitioner, Partitioner};
+use hmr_api::task::{IdentityMapper, IdentityReducer, LongSumReducer, TaskMapper, TaskReducer};
+use hmr_api::writable::{IntWritable, LongWritable, Text};
+use hmr_api::HPath;
+use m3r::{DedupMode, M3REngine, M3ROptions};
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+
+// ---------------------------------------------------------------------------
+// Job definitions used across the tests
+// ---------------------------------------------------------------------------
+
+/// WordCount with a switchable ImmutableOutput declaration.
+struct WordCount {
+    immutable: bool,
+}
+
+struct WcMapper {
+    immutable: bool,
+}
+
+impl TaskMapper<LongWritable, Text, Text, LongWritable> for WcMapper {
+    fn map(
+        &mut self,
+        _key: Arc<LongWritable>,
+        value: Arc<Text>,
+        out: &mut dyn OutputCollector<Text, LongWritable>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        if self.immutable {
+            // Fig 4 right: fresh Text per token.
+            for tok in value.as_str().split_whitespace() {
+                out.collect(Arc::new(Text::from(tok)), Arc::new(LongWritable(1)))?;
+            }
+        } else {
+            // Fig 4 left: one reused Text, mutated between emits.
+            let mut word = Arc::new(Text::default());
+            let one = Arc::new(LongWritable(1));
+            for tok in value.as_str().split_whitespace() {
+                Text::set_shared(&mut word, tok);
+                out.collect(Arc::clone(&word), Arc::clone(&one))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl JobDef for WordCount {
+    type K1 = LongWritable;
+    type V1 = Text;
+    type K2 = Text;
+    type V2 = LongWritable;
+    type K3 = Text;
+    type V3 = LongWritable;
+
+    fn create_mapper(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskMapper<LongWritable, Text, Text, LongWritable>> {
+        Box::new(WcMapper {
+            immutable: self.immutable,
+        })
+    }
+    fn create_reducer(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskReducer<Text, LongWritable, Text, LongWritable>> {
+        Box::new(LongSumReducer)
+    }
+    fn input_format(&self, _conf: &JobConf) -> Box<dyn InputFormat<LongWritable, Text>> {
+        Box::new(hmr_api::io::TextInputFormat)
+    }
+    fn output_format(&self, _conf: &JobConf) -> Box<dyn OutputFormat<Text, LongWritable>> {
+        Box::new(SequenceFileOutputFormat::new())
+    }
+    fn immutable_output(&self) -> bool {
+        self.immutable
+    }
+    fn name(&self) -> &str {
+        "wordcount"
+    }
+}
+
+/// Identity pipeline job over (IntWritable, Text) sequence files with a
+/// mod-key partitioner — the shape of the §6.1 microbenchmark.
+struct IdPipe;
+
+impl JobDef for IdPipe {
+    type K1 = IntWritable;
+    type V1 = Text;
+    type K2 = IntWritable;
+    type V2 = Text;
+    type K3 = IntWritable;
+    type V3 = Text;
+
+    fn create_mapper(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskMapper<IntWritable, Text, IntWritable, Text>> {
+        Box::new(IdentityMapper)
+    }
+    fn create_reducer(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskReducer<IntWritable, Text, IntWritable, Text>> {
+        Box::new(IdentityReducer)
+    }
+    fn partitioner(&self, _conf: &JobConf) -> Box<dyn Partitioner<IntWritable, Text>> {
+        Box::new(FnPartitioner::new(|k: &IntWritable, _: &Text, n| {
+            k.0 as usize % n
+        }))
+    }
+    fn input_format(&self, _conf: &JobConf) -> Box<dyn InputFormat<IntWritable, Text>> {
+        Box::new(SequenceFileInputFormat::new())
+    }
+    fn output_format(&self, _conf: &JobConf) -> Box<dyn OutputFormat<IntWritable, Text>> {
+        Box::new(SequenceFileOutputFormat::new())
+    }
+    fn immutable_output(&self) -> bool {
+        true
+    }
+    fn map_only_convert(
+        &self,
+    ) -> Option<hmr_api::job::MapOnlyConvert<IntWritable, Text, IntWritable, Text>> {
+        Some(Arc::new(|k, v| (k, v)))
+    }
+    fn sort_comparator(&self) -> KeyComparator<IntWritable> {
+        KeyComparator::natural()
+    }
+    fn name(&self) -> &str {
+        "idpipe"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+fn setup(nodes: usize) -> (M3REngine, SimDfs, Cluster) {
+    let cluster = Cluster::new(nodes, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+    let engine = M3REngine::with_options(
+        cluster.clone(),
+        Arc::new(fs.clone()),
+        M3ROptions {
+            worker_threads: 2,
+            ..M3ROptions::default()
+        },
+    );
+    (engine, fs, cluster)
+}
+
+fn conf(input: &str, output: &str, reducers: usize) -> JobConf {
+    let mut c = JobConf::new();
+    c.add_input_path(&HPath::new(input));
+    c.set_output_path(&HPath::new(output));
+    c.set_num_reduce_tasks(reducers);
+    c
+}
+
+fn gen_pairs(n: i32) -> Vec<(IntWritable, Text)> {
+    (0..n)
+        .map(|i| (IntWritable(i), Text::from(format!("value-{i}"))))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wordcount_matches_expected_counts() {
+    let (mut engine, fs, _) = setup(3);
+    hmr_api::fs::write_file(
+        &fs,
+        &HPath::new("/in/t.txt"),
+        b"to be or not to be\nthat is the question",
+    )
+    .unwrap();
+    let r = engine
+        .run_job(Arc::new(WordCount { immutable: true }), &conf("/in", "/out", 2))
+        .unwrap();
+    let mut counts = std::collections::BTreeMap::new();
+    for p in 0..2 {
+        let path = HPath::new(format!("/out/part-{p:05}"));
+        for (k, v) in read_seq_file::<Text, LongWritable>(&fs, &path).unwrap() {
+            counts.insert(k.as_str().to_string(), v.0);
+        }
+    }
+    assert_eq!(counts["to"], 2);
+    assert_eq!(counts["be"], 2);
+    assert_eq!(counts["question"], 1);
+    assert_eq!(counts.len(), 8);
+    assert_eq!(r.counters.task(task_counter::MAP_OUTPUT_RECORDS), 10);
+    assert_eq!(r.metrics.task_startups, 0, "no JVMs start in M3R");
+    assert_eq!(r.metrics.heartbeats, 0, "no jobtracker heartbeats in M3R");
+}
+
+#[test]
+fn m3r_overhead_floor_is_tiny() {
+    // "Small HMR jobs can run essentially instantly on M3R."
+    let (mut engine, fs, _) = setup(2);
+    hmr_api::fs::write_file(&fs, &HPath::new("/in/t.txt"), b"one word").unwrap();
+    let r = engine
+        .run_job(Arc::new(WordCount { immutable: true }), &conf("/in", "/out", 1))
+        .unwrap();
+    assert!(
+        r.sim_time < 1.0,
+        "tiny job should be far under Hadoop's ~10s floor, got {}",
+        r.sim_time
+    );
+}
+
+#[test]
+fn second_read_of_same_input_is_served_from_cache() {
+    let (mut engine, fs, _) = setup(2);
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &gen_pairs(100)).unwrap();
+    let r1 = engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/o1", 2))
+        .unwrap();
+    assert_eq!(r1.counters.task(task_counter::CACHE_HIT_RECORDS), 0);
+    assert!(r1.metrics.disk_bytes_read > 0, "first read hits the DFS");
+
+    let r2 = engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/o2", 2))
+        .unwrap();
+    assert_eq!(
+        r2.counters.task(task_counter::CACHE_HIT_RECORDS),
+        100,
+        "same input now comes from the key/value cache"
+    );
+    // The only disk traffic left is writing /o2 and the _SUCCESS marker.
+    assert_eq!(
+        r2.metrics.disk_bytes_read, 0,
+        "no DFS reads on a cache hit"
+    );
+    assert!(r2.sim_time < r1.sim_time);
+}
+
+#[test]
+fn job_pipeline_consumes_previous_output_from_cache() {
+    let (mut engine, fs, _) = setup(2);
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &gen_pairs(50)).unwrap();
+    engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/stage1", 2))
+        .unwrap();
+    // Job 2 reads job 1's output: fulfilled from the cache.
+    let r2 = engine
+        .run_job(Arc::new(IdPipe), &conf("/stage1", "/stage2", 2))
+        .unwrap();
+    assert_eq!(r2.counters.task(task_counter::CACHE_HIT_RECORDS), 50);
+    assert_eq!(r2.metrics.disk_bytes_read, 0);
+    // And the data is still correct end to end.
+    let mut all = Vec::new();
+    for p in 0..2 {
+        all.extend(
+            read_seq_file::<IntWritable, Text>(
+                &fs,
+                &HPath::new(format!("/stage2/part-{p:05}")),
+            )
+            .unwrap(),
+        );
+    }
+    all.sort();
+    assert_eq!(all, gen_pairs(50));
+}
+
+#[test]
+fn temp_outputs_never_touch_the_dfs_but_feed_the_next_job() {
+    let (mut engine, fs, cluster) = setup(2);
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &gen_pairs(40)).unwrap();
+    // Warm the input cache.
+    engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/w/temp_0", 2))
+        .unwrap();
+    let before = cluster.metrics().snapshot();
+    let r = engine
+        .run_job(Arc::new(IdPipe), &conf("/w/temp_0", "/w/temp_1", 2))
+        .unwrap();
+    let delta = cluster.metrics().snapshot().since(&before);
+    assert_eq!(delta.disk_bytes_written, 0, "temp output stays in memory");
+    assert_eq!(delta.disk_bytes_read, 0, "temp input read from cache");
+    assert_eq!(r.counters.task(task_counter::CACHE_HIT_RECORDS), 40);
+    assert!(
+        !fs.exists(&HPath::new("/w/temp_1/part-00000")),
+        "nothing on the DFS for temp outputs"
+    );
+    // Final job materializes to the DFS.
+    let r3 = engine
+        .run_job(Arc::new(IdPipe), &conf("/w/temp_1", "/w/final", 2))
+        .unwrap();
+    assert!(r3.metrics.disk_bytes_written > 0);
+    let mut all = Vec::new();
+    for p in 0..2 {
+        all.extend(
+            read_seq_file::<IntWritable, Text>(&fs, &HPath::new(format!("/w/final/part-{p:05}")))
+                .unwrap(),
+        );
+    }
+    all.sort();
+    assert_eq!(all, gen_pairs(40));
+}
+
+#[test]
+fn partition_stability_keeps_consistent_pipelines_local() {
+    // §3.2.2.2: with a consistent partitioner, the second job's shuffle is
+    // entirely local — the cached part files already sit at their
+    // partitions' places.
+    let (mut engine, fs, _) = setup(4);
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &gen_pairs(64)).unwrap();
+    // Job 1 repartitions (arbitrary input layout → stable layout).
+    engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/p/temp_a", 4))
+        .unwrap();
+    // Job 2 re-shuffles with the same partitioner: all-local now.
+    let r2 = engine
+        .run_job(Arc::new(IdPipe), &conf("/p/temp_a", "/p/temp_b", 4))
+        .unwrap();
+    assert_eq!(
+        r2.counters.task(task_counter::REMOTE_SHUFFLED_RECORDS),
+        0,
+        "partition stability eliminated all remote shuffling"
+    );
+    assert_eq!(r2.counters.task(task_counter::LOCAL_SHUFFLED_RECORDS), 64);
+    assert_eq!(r2.metrics.ser_bytes, 0, "local shuffle never serializes");
+}
+
+#[test]
+fn without_partition_stability_the_guarantee_disappears() {
+    let cluster = Cluster::new(4, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+    let mut engine = M3REngine::with_options(
+        cluster,
+        Arc::new(fs.clone()),
+        M3ROptions {
+            worker_threads: 2,
+            partition_stability: false,
+            ..M3ROptions::default()
+        },
+    );
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &gen_pairs(64)).unwrap();
+    engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/p/temp_a", 4))
+        .unwrap();
+    let r2 = engine
+        .run_job(Arc::new(IdPipe), &conf("/p/temp_a", "/p/temp_b", 4))
+        .unwrap();
+    assert!(
+        r2.counters.task(task_counter::REMOTE_SHUFFLED_RECORDS) > 0,
+        "with an unstable partition map, data moves again"
+    );
+}
+
+#[test]
+fn immutable_output_avoids_cloning() {
+    let (mut engine, fs, _) = setup(2);
+    hmr_api::fs::write_file(
+        &fs,
+        &HPath::new("/in/t.txt"),
+        "alpha beta gamma delta ".repeat(50).as_bytes(),
+    )
+    .unwrap();
+    let r_imm = engine
+        .run_job(Arc::new(WordCount { immutable: true }), &conf("/in", "/a", 2))
+        .unwrap();
+    let r_mut = engine
+        .run_job(Arc::new(WordCount { immutable: false }), &conf("/in", "/b", 2))
+        .unwrap();
+    assert_eq!(r_imm.metrics.clone_bytes, 0, "ImmutableOutput → aliasing");
+    assert!(
+        r_mut.metrics.clone_bytes > 0,
+        "default contract → defensive copies"
+    );
+    // Both produce identical counts.
+    let read = |dir: &str| {
+        let mut m = std::collections::BTreeMap::new();
+        for p in 0..2 {
+            let path = HPath::new(format!("{dir}/part-{p:05}"));
+            for (k, v) in read_seq_file::<Text, LongWritable>(&fs, &path).unwrap() {
+                m.insert(k.as_str().to_string(), v.0);
+            }
+        }
+        m
+    };
+    assert_eq!(read("/a"), read("/b"));
+    assert_eq!(read("/a")["alpha"], 50);
+}
+
+#[test]
+fn map_only_jobs_run_without_a_reduce_phase() {
+    let (mut engine, fs, _) = setup(2);
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &gen_pairs(7)).unwrap();
+    let r = engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/out", 0))
+        .unwrap();
+    assert_eq!(r.output_records, 7);
+    assert_eq!(r.counters.task(task_counter::REDUCE_INPUT_RECORDS), 0);
+    let back = read_seq_file::<IntWritable, Text>(&fs, &HPath::new("/out/part-00000")).unwrap();
+    assert_eq!(back.len(), 7);
+}
+
+#[test]
+fn explicit_cache_delete_forces_reload() {
+    // §6.1: "We explicitly delete the previous iteration's input, as it
+    // will not be accessed again and its presence in the cache wastes
+    // memory."
+    let (mut engine, fs, _) = setup(2);
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &gen_pairs(30)).unwrap();
+    engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/o1", 2))
+        .unwrap();
+    assert!(engine.cache().total_bytes() > 0);
+    // Raw-cache delete: cache-only, DFS untouched (§4.2.3).
+    use hmr_api::extensions::CacheFsExt;
+    let raw = engine.caching_fs().raw_cache();
+    raw.delete(&HPath::new("/in/part-00000"), false).unwrap();
+    assert!(fs.exists(&HPath::new("/in/part-00000")), "DFS survives");
+    let r2 = engine
+        .run_job(Arc::new(IdPipe), &conf("/in", "/o2", 2))
+        .unwrap();
+    assert_eq!(
+        r2.counters.task(task_counter::CACHE_HIT_RECORDS),
+        0,
+        "deleted from cache → re-read from DFS"
+    );
+    assert!(r2.metrics.disk_bytes_read > 0);
+}
+
+#[test]
+fn dedup_shrinks_broadcast_shuffles() {
+    // A mapper that broadcasts one big value to every partition.
+    struct BroadcastJob {
+        dedup: bool,
+    }
+    struct BroadcastMapper;
+    impl TaskMapper<IntWritable, Text, IntWritable, Text> for BroadcastMapper {
+        fn map(
+            &mut self,
+            _k: Arc<IntWritable>,
+            v: Arc<Text>,
+            out: &mut dyn OutputCollector<IntWritable, Text>,
+            _ctx: &mut TaskContext,
+        ) -> Result<()> {
+            for p in 0..16 {
+                out.collect(Arc::new(IntWritable(p)), Arc::clone(&v))?;
+            }
+            Ok(())
+        }
+    }
+    impl JobDef for BroadcastJob {
+        type K1 = IntWritable;
+        type V1 = Text;
+        type K2 = IntWritable;
+        type V2 = Text;
+        type K3 = IntWritable;
+        type V3 = Text;
+        fn create_mapper(
+            &self,
+            _c: &JobConf,
+        ) -> Box<dyn TaskMapper<IntWritable, Text, IntWritable, Text>> {
+            Box::new(BroadcastMapper)
+        }
+        fn create_reducer(
+            &self,
+            _c: &JobConf,
+        ) -> Box<dyn TaskReducer<IntWritable, Text, IntWritable, Text>> {
+            Box::new(IdentityReducer)
+        }
+        fn partitioner(&self, _c: &JobConf) -> Box<dyn Partitioner<IntWritable, Text>> {
+            Box::new(FnPartitioner::new(|k: &IntWritable, _: &Text, n| {
+                k.0 as usize % n
+            }))
+        }
+        fn input_format(&self, _c: &JobConf) -> Box<dyn InputFormat<IntWritable, Text>> {
+            Box::new(SequenceFileInputFormat::new())
+        }
+        fn output_format(&self, _c: &JobConf) -> Box<dyn OutputFormat<IntWritable, Text>> {
+            Box::new(SequenceFileOutputFormat::new())
+        }
+        fn immutable_output(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &str {
+            if self.dedup {
+                "broadcast-dedup"
+            } else {
+                "broadcast-plain"
+            }
+        }
+    }
+
+    let run = |dedup: DedupMode| {
+        let cluster = Cluster::new(4, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+        let big = Text::from("x".repeat(2000));
+        write_seq_file(
+            &fs,
+            &HPath::new("/in/part-00000"),
+            &[(IntWritable(0), big)],
+        )
+        .unwrap();
+        let mut engine = M3REngine::with_options(
+            cluster,
+            Arc::new(fs),
+            M3ROptions {
+                worker_threads: 2,
+                dedup,
+                ..M3ROptions::default()
+            },
+        );
+        engine
+            .run_job(
+                Arc::new(BroadcastJob {
+                    dedup: dedup != DedupMode::Off,
+                }),
+                &conf("/in", "/out/temp_o", 16),
+            )
+            .unwrap()
+    };
+    let with = run(DedupMode::Full);
+    let without = run(DedupMode::Off);
+    assert!(
+        with.metrics.ser_bytes * 3 < without.metrics.ser_bytes,
+        "dedup sent ~1 copy per place instead of 16: {} vs {}",
+        with.metrics.ser_bytes,
+        without.metrics.ser_bytes
+    );
+    assert!(with.counters.get(m3r::M3R_COUNTER_GROUP, "DEDUP_HITS") > 0);
+    assert_eq!(
+        without.counters.get(m3r::M3R_COUNTER_GROUP, "DEDUP_HITS"),
+        0
+    );
+}
+
+#[test]
+fn job_client_dispatches_on_conf_flag() {
+    let cluster = Cluster::new(2, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &gen_pairs(5)).unwrap();
+    let m3r_engine = M3REngine::new(cluster.clone(), Arc::new(fs.clone()));
+    let hadoop = hadoop_engine::HadoopEngine::new(cluster, Arc::new(fs.clone()));
+    let mut client = m3r::JobClient::new(m3r_engine, Some(hadoop));
+
+    let mut c1 = conf("/in", "/via_m3r", 1);
+    client.submit_job(Arc::new(IdPipe), &c1).unwrap();
+    assert_eq!(client.last_ran(), Some(m3r::Ran::M3r));
+
+    c1.set_output_path(&HPath::new("/via_hadoop"));
+    c1.set(hmr_api::conf::USE_HADOOP, "true");
+    let r = client.submit_job(Arc::new(IdPipe), &c1).unwrap();
+    assert_eq!(client.last_ran(), Some(m3r::Ran::Fallback));
+    assert!(r.metrics.task_startups > 0, "the fallback really is Hadoop");
+    // Outputs agree between engines.
+    let a = read_seq_file::<IntWritable, Text>(&fs, &HPath::new("/via_m3r/part-00000")).unwrap();
+    let b =
+        read_seq_file::<IntWritable, Text>(&fs, &HPath::new("/via_hadoop/part-00000")).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn repartition_makes_subsequent_shuffles_local() {
+    // §6.1.1 in full: generator laid the data out arbitrarily; one
+    // repartition job fixes it for every subsequent job.
+    let (mut engine, fs, _) = setup(4);
+    // Simulate "Hadoop-generated" data: records scattered across part
+    // files with no relation to the mod partitioner.
+    let mut rows = gen_pairs(64);
+    rows.reverse();
+    for chunk in 0..4 {
+        write_seq_file(
+            &fs,
+            &HPath::new(format!("/gen/part-{chunk:05}")),
+            &rows[chunk * 16..(chunk + 1) * 16],
+        )
+        .unwrap();
+    }
+    let rep = m3r::repartition(
+        &mut engine,
+        &HPath::new("/gen"),
+        &HPath::new("/stable"),
+        4,
+        || {
+            Box::new(FnPartitioner::new(|k: &IntWritable, _: &Text, n| {
+                k.0 as usize % n
+            }))
+        },
+    )
+    .unwrap();
+    assert!(rep.sim_time > 0.0);
+    // After repartitioning, the pipeline shuffles locally.
+    let r = engine
+        .run_job(Arc::new(IdPipe), &conf("/stable", "/next/temp_x", 4))
+        .unwrap();
+    assert_eq!(r.counters.task(task_counter::REMOTE_SHUFFLED_RECORDS), 0);
+    assert_eq!(r.counters.task(task_counter::LOCAL_SHUFFLED_RECORDS), 64);
+}
+
+#[test]
+fn outputs_match_hadoop_engine_bit_for_bit() {
+    // §6: "we ran these Hadoop programs in both the standard Hadoop engine
+    // and in our M3R engine, on the same input from HDFS, and verified that
+    // they produced equivalent output in HDFS."
+    let cluster = Cluster::new(3, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+    hmr_api::fs::write_file(
+        &fs,
+        &HPath::new("/in/t.txt"),
+        b"the quick brown fox jumps over the lazy dog\nthe end",
+    )
+    .unwrap();
+    let mut hadoop = hadoop_engine::HadoopEngine::new(cluster.clone(), Arc::new(fs.clone()));
+    let mut m3r_engine = M3REngine::new(cluster, Arc::new(fs.clone()));
+    hadoop
+        .run_job(
+            Arc::new(WordCount { immutable: true }),
+            &conf("/in", "/h", 2),
+        )
+        .unwrap();
+    m3r_engine
+        .run_job(
+            Arc::new(WordCount { immutable: true }),
+            &conf("/in", "/m", 2),
+        )
+        .unwrap();
+    for p in 0..2 {
+        let h = read_seq_file::<Text, LongWritable>(&fs, &HPath::new(format!("/h/part-{p:05}")))
+            .unwrap();
+        let m = read_seq_file::<Text, LongWritable>(&fs, &HPath::new(format!("/m/part-{p:05}")))
+            .unwrap();
+        assert_eq!(h, m, "partition {p} differs between engines");
+    }
+}

@@ -1,0 +1,874 @@
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)]
+
+//! # hadoop-engine — the baseline Hadoop MapReduce engine (paper §3.1)
+//!
+//! A faithful cost-model reproduction of the stock engine's execution flow,
+//! the comparator in every figure of the M3R paper:
+//!
+//! 1. the client *submits* the job to a jobtracker (staging cost);
+//! 2. map tasks are scheduled onto tasktrackers in heartbeat-paced waves,
+//!    each task starting a **fresh JVM** (startup cost) — nothing survives
+//!    between tasks or jobs;
+//! 3. mappers read their split from the DFS (disk + network unless local),
+//!    deserialize it, and emit into a [`sortbuffer::SortBuffer`] that
+//!    serializes immediately, sorts and spills to local disk, runs the
+//!    combiner per spill, and merges spills into per-partition segments;
+//! 4. reducers fetch every mapper's segment over disk + network — "all
+//!    shuffled data is serialized and communicated via local files and
+//!    network and therefore there is equal cost for all destinations"
+//!    (§6.1): Hadoop has no local-shuffle fast path, so the full cost is
+//!    charged regardless of co-location;
+//! 5. reduce output is serialized and written to the DFS with replication.
+//!
+//! All user code really executes (outputs are verified against M3R in the
+//! integration tests); only time is simulated.
+
+pub mod sortbuffer;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hmr_api::collect::{MapCollector, OutputCollector};
+use hmr_api::conf::JobConf;
+use hmr_api::counters::{task_counter, Counters, TaskContext};
+use hmr_api::distcache::DistCache;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::fs::FileSystem;
+use hmr_api::io::{InputFormat, InputSplit, OutputFormat, RecordWriter};
+use hmr_api::job::{Engine, JobDef, JobResult};
+use hmr_api::writable::Writable;
+use simgrid::cost::Charge;
+use simgrid::{Cluster, Meter, NodeId};
+
+use sortbuffer::{decode_segment, SortBuffer};
+
+/// Tuning knobs of the simulated Hadoop installation.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Concurrent map tasks per node (paper testbed: 8 cores/node).
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+    /// `io.sort.mb` analogue: map output buffered before spilling.
+    pub sort_buffer_bytes: usize,
+    /// Task attempts before the job fails (`mapred.map.max.attempts`).
+    /// This is the resilience M3R deliberately gives up (§1): "if a node
+    /// fails, the job controller has enough information to restart the
+    /// computation ... there is no need to restart the entire job."
+    pub max_task_attempts: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            map_slots_per_node: 8,
+            reduce_slots_per_node: 8,
+            sort_buffer_bytes: 1 << 20,
+            max_task_attempts: 4,
+        }
+    }
+}
+
+/// The stock Hadoop MapReduce engine over a simulated cluster.
+pub struct HadoopEngine {
+    cluster: Cluster,
+    fs: Arc<dyn FileSystem>,
+    opts: EngineOptions,
+}
+
+impl HadoopEngine {
+    /// An engine with default options.
+    pub fn new(cluster: Cluster, fs: Arc<dyn FileSystem>) -> Self {
+        HadoopEngine::with_options(cluster, fs, EngineOptions::default())
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(cluster: Cluster, fs: Arc<dyn FileSystem>, opts: EngineOptions) -> Self {
+        assert!(opts.map_slots_per_node >= 1 && opts.reduce_slots_per_node >= 1);
+        HadoopEngine { cluster, fs, opts }
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The job filesystem.
+    pub fn fs(&self) -> &Arc<dyn FileSystem> {
+        &self.fs
+    }
+}
+
+/// Reducer-side output collector writing through the job's `RecordWriter`,
+/// with lazy named side outputs (`MultipleOutputs`).
+struct WriterCollector<'a, K, V> {
+    writer: Box<dyn RecordWriter<K, V>>,
+    named: std::collections::HashMap<String, Box<dyn RecordWriter<K, V>>>,
+    format: &'a dyn OutputFormat<K, V>,
+    fs: &'a dyn FileSystem,
+    conf: &'a JobConf,
+    partition: usize,
+    records: u64,
+}
+
+impl<K: Writable, V: Writable> WriterCollector<'_, K, V> {
+    fn close(self) -> Result<u64> {
+        self.writer.close()?;
+        for (_, w) in self.named {
+            w.close()?;
+        }
+        Ok(self.records)
+    }
+}
+
+impl<K: Writable, V: Writable> OutputCollector<K, V> for WriterCollector<'_, K, V> {
+    fn collect(&mut self, key: Arc<K>, value: Arc<V>) -> Result<()> {
+        simgrid::meter::charge(Charge::Serialize {
+            bytes: (key.serialized_size() + value.serialized_size()) as u64,
+        });
+        self.writer.write(&key, &value)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    fn collect_named(&mut self, name: &str, key: Arc<K>, value: Arc<V>) -> Result<()> {
+        if !self.named.contains_key(name) {
+            let w = self
+                .format
+                .record_writer_named(self.fs, self.conf, name, self.partition)?;
+            self.named.insert(name.to_string(), w);
+        }
+        simgrid::meter::charge(Charge::Serialize {
+            bytes: (key.serialized_size() + value.serialized_size()) as u64,
+        });
+        self.named
+            .get_mut(name)
+            .expect("inserted above")
+            .write(&key, &value)?;
+        self.records += 1;
+        Ok(())
+    }
+}
+
+/// Outcome of one map task.
+struct MapTaskOutput {
+    /// Per-partition serialized segments (empty for map-only jobs).
+    segments: Vec<Vec<u8>>,
+    counters: Counters,
+    output_records: u64,
+}
+
+impl Engine for HadoopEngine {
+    fn engine_name(&self) -> &'static str {
+        "hadoop"
+    }
+
+    fn run_job<J: JobDef>(&mut self, job: Arc<J>, conf: &JobConf) -> Result<JobResult> {
+        let cluster = self.cluster.clone();
+        let nnodes = cluster.len();
+        let t0 = cluster.max_time();
+        let m0 = cluster.metrics().snapshot();
+        let conf = Arc::new(conf.clone());
+
+        // Submission: jobid from the jobtracker, job configuration and user
+        // code staged to the jobtracker's filesystem (§3.1).
+        cluster.node(0).charge(Charge::JobSubmit);
+
+        let input_format = job.input_format(&conf);
+        let output_format = job.output_format(&conf);
+        let splits = input_format.get_splits(
+            &*self.fs,
+            &conf,
+            nnodes * self.opts.map_slots_per_node,
+        )?;
+        let num_reducers = conf.num_reduce_tasks();
+        let convert = if num_reducers == 0 {
+            Some(job.map_only_convert().ok_or_else(|| {
+                HmrError::InvalidJob(
+                    "0 reducers requires JobDef::map_only_convert (map-only job)".into(),
+                )
+            })?)
+        } else {
+            None
+        };
+
+        // Distributed cache staging, charged to the submitting node.
+        let dist_cache = Arc::new(simgrid::with_meter(
+            Meter::new(cluster.node(0).clone()),
+            || DistCache::load(&conf, &*self.fs),
+        )?);
+
+        // ---- map phase -----------------------------------------------------
+        // "The map tasks (allocated close to their corresponding
+        // InputSplits)": assign each split to its first replica host.
+        let assigns: Vec<NodeId> = splits
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.locations().first().copied().unwrap_or(i % nnodes) % nnodes)
+            .collect();
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); nnodes];
+        for (i, &n) in assigns.iter().enumerate() {
+            per_node[n].push(i);
+        }
+
+        let mut counters = Counters::new();
+        let mut map_outputs: Vec<Vec<Vec<u8>>> = (0..splits.len()).map(|_| Vec::new()).collect();
+        let mut output_records = 0u64;
+
+        for (node_id, tasks) in per_node.iter().enumerate() {
+            let node = cluster.node(node_id);
+            // Tasks run in slot-parallel waves; the tasktracker receives
+            // work one heartbeat at a time.
+            for wave in tasks.chunks(self.opts.map_slots_per_node) {
+                node.charge(Charge::Heartbeat);
+                let mut wave_duration = 0.0f64;
+                for &task in wave {
+                    let scratch = cluster.scratch_node(node_id);
+                    // "If a node fails, the job controller ... restart[s]
+                    // the computation" — failed attempts are retried (each
+                    // paying startup again) up to the attempt limit.
+                    let out = retry_attempts(self.opts.max_task_attempts, || {
+                        simgrid::with_meter(Meter::new(scratch.clone()), || {
+                            run_map_task(
+                                &*job,
+                                &conf,
+                                &*self.fs,
+                                &*input_format,
+                                &*output_format,
+                                splits[task].as_ref(),
+                                task,
+                                num_reducers,
+                                convert.clone(),
+                                &dist_cache,
+                                self.opts.sort_buffer_bytes,
+                            )
+                        })
+                    })?;
+                    counters.merge(&out.counters);
+                    output_records += out.output_records;
+                    map_outputs[task] = out.segments;
+                    wave_duration = wave_duration.max(scratch.clock().now());
+                }
+                node.clock().advance(wave_duration);
+            }
+        }
+
+        // ---- reduce phase ---------------------------------------------------
+        if num_reducers > 0 {
+            // No reducer finishes its sort before the last mapper is done;
+            // the jobtracker notices completion on a heartbeat.
+            let all_maps_done = cluster.max_time();
+            for node in cluster.nodes() {
+                node.clock().advance_to(all_maps_done);
+            }
+
+            let r_assigns: Vec<NodeId> = (0..num_reducers).map(|p| p % nnodes).collect();
+            let mut per_node_r: Vec<Vec<usize>> = vec![Vec::new(); nnodes];
+            for (p, &n) in r_assigns.iter().enumerate() {
+                per_node_r[n].push(p);
+            }
+            for (node_id, parts) in per_node_r.iter().enumerate() {
+                let node = cluster.node(node_id);
+                for wave in parts.chunks(self.opts.reduce_slots_per_node) {
+                    node.charge(Charge::Heartbeat);
+                    let mut wave_duration = 0.0f64;
+                    for &partition in wave {
+                        let scratch = cluster.scratch_node(node_id);
+                        let (task_counters, recs) =
+                            retry_attempts(self.opts.max_task_attempts, || {
+                                simgrid::with_meter(Meter::new(scratch.clone()), || {
+                                    run_reduce_task(
+                                        &*job,
+                                        &conf,
+                                        &*self.fs,
+                                        &*output_format,
+                                        &map_outputs,
+                                        partition,
+                                        &dist_cache,
+                                        self.opts.sort_buffer_bytes,
+                                    )
+                                })
+                            })?;
+                        counters.merge(&task_counters);
+                        output_records += recs;
+                        wave_duration = wave_duration.max(scratch.clock().now());
+                    }
+                    node.clock().advance(wave_duration);
+                }
+            }
+        }
+
+        // Job commit: _SUCCESS marker in the output directory.
+        if let Some(out_dir) = output_format.output_path(&conf) {
+            let marker = out_dir.join("_SUCCESS");
+            if !self.fs.exists(&marker) {
+                let w = self.fs.create(&marker)?;
+                w.close()?;
+            }
+        }
+
+        // The client polls for completion; align clocks at job end.
+        let t_end = cluster.max_time();
+        for node in cluster.nodes() {
+            node.clock().advance_to(t_end);
+        }
+
+        Ok(JobResult {
+            sim_time: t_end - t0,
+            counters,
+            metrics: cluster.metrics().snapshot().since(&m0),
+            output_records,
+        })
+    }
+}
+
+/// Run `attempt` up to `max_attempts` times, returning the first success
+/// or the last error — the jobtracker's retry loop. Each attempt performs
+/// (and is charged for) its full startup + work again.
+fn retry_attempts<T>(
+    max_attempts: usize,
+    mut attempt: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut last_err = None;
+    for _ in 0..max_attempts.max(1) {
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+/// One map task attempt: fresh JVM, split read, real mapper execution,
+/// sort/spill/merge (or direct output for map-only jobs).
+#[allow(clippy::too_many_arguments)]
+fn run_map_task<J: JobDef>(
+    job: &J,
+    conf: &Arc<JobConf>,
+    fs: &dyn FileSystem,
+    input_format: &dyn InputFormat<J::K1, J::V1>,
+    output_format: &dyn OutputFormat<J::K3, J::V3>,
+    split: &dyn InputSplit,
+    task_idx: usize,
+    num_reducers: usize,
+    convert: Option<hmr_api::job::MapOnlyConvert<J::K2, J::V2, J::K3, J::V3>>,
+    dist_cache: &Arc<DistCache>,
+    sort_buffer_bytes: usize,
+) -> Result<MapTaskOutput> {
+    simgrid::meter::charge(Charge::TaskStartup);
+    let mut ctx = TaskContext::new(
+        format!("attempt_m_{task_idx:06}_0"),
+        Arc::clone(conf),
+        Arc::clone(dist_cache),
+    );
+    ctx.set_split_tag(hmr_api::multi::split_tag(split));
+
+    let mut mapper = job.create_mapper(conf);
+    let mut reader = input_format.record_reader(fs, split, conf)?;
+    // Deserializing the split's bytes into objects.
+    simgrid::meter::charge(Charge::Deserialize {
+        bytes: split.length(),
+    });
+
+    if let Some(convert) = convert {
+        // Map-only: "output from the mapper is sent directly to output as
+        // per Hadoop" (§5.3). The task writes part-<map index>.
+        let writer = output_format.record_writer(fs, conf, task_idx)?;
+        let mut sink = WriterCollector {
+            writer,
+            named: std::collections::HashMap::new(),
+            format: output_format,
+            fs,
+            conf,
+            partition: task_idx,
+            records: 0,
+        };
+        let compute_start = Instant::now();
+        {
+            let mut out = MapCollector::new(&mut sink, convert);
+            mapper.setup(&mut ctx)?;
+            while let Some((k, v)) = reader.next()? {
+                ctx.incr_task_counter(task_counter::MAP_INPUT_RECORDS, 1);
+                ctx.incr_task_counter(task_counter::MAP_OUTPUT_RECORDS, 1);
+                mapper.map(Arc::new(k), Arc::new(v), &mut out, &mut ctx)?;
+            }
+            mapper.cleanup(&mut out, &mut ctx)?;
+        }
+        simgrid::meter::charge(Charge::Compute {
+            seconds: compute_start.elapsed().as_secs_f64(),
+        });
+        let records = sink.close()?;
+        return Ok(MapTaskOutput {
+            segments: Vec::new(),
+            counters: ctx.into_counters(),
+            output_records: records,
+        });
+    }
+
+    let mut buffer = SortBuffer::new(
+        num_reducers,
+        sort_buffer_bytes,
+        job.partitioner(conf),
+        job.sort_comparator(),
+        job.grouping_comparator(),
+        job.create_combiner(conf),
+        TaskContext::new(
+            format!("combiner_m_{task_idx:06}"),
+            Arc::clone(conf),
+            Arc::clone(dist_cache),
+        ),
+    );
+    let compute_start = Instant::now();
+    mapper.setup(&mut ctx)?;
+    let mut in_records = 0i64;
+    while let Some((k, v)) = reader.next()? {
+        in_records += 1;
+        mapper.map(Arc::new(k), Arc::new(v), &mut buffer, &mut ctx)?;
+    }
+    mapper.cleanup(&mut buffer, &mut ctx)?;
+    simgrid::meter::charge(Charge::Compute {
+        seconds: compute_start.elapsed().as_secs_f64(),
+    });
+    ctx.incr_task_counter(task_counter::MAP_INPUT_RECORDS, in_records);
+    ctx.incr_task_counter(
+        task_counter::MAP_OUTPUT_RECORDS,
+        buffer.emitted_records() as i64,
+    );
+    let (segments, combiner_counters) = buffer.finish()?;
+    let mut counters = ctx.into_counters();
+    counters.merge(&combiner_counters);
+    Ok(MapTaskOutput {
+        segments,
+        counters,
+        output_records: 0,
+    })
+}
+
+/// One reduce task attempt: fetch every mapper's segment (disk + network —
+/// Hadoop's shuffle has no local fast path), merge-sort out of core, group,
+/// run the real reducer, write to the DFS.
+#[allow(clippy::too_many_arguments)]
+fn run_reduce_task<J: JobDef>(
+    job: &J,
+    conf: &Arc<JobConf>,
+    fs: &dyn FileSystem,
+    output_format: &dyn OutputFormat<J::K3, J::V3>,
+    map_outputs: &[Vec<Vec<u8>>],
+    partition: usize,
+    dist_cache: &Arc<DistCache>,
+    sort_buffer_bytes: usize,
+) -> Result<(Counters, u64)> {
+    simgrid::meter::charge(Charge::TaskStartup);
+    let mut ctx = TaskContext::new(
+        format!("attempt_r_{partition:06}_0"),
+        Arc::clone(conf),
+        Arc::clone(dist_cache),
+    );
+    ctx.set_partition(Some(partition));
+
+    // Shuffle fetch: every map task's segment for this partition.
+    let mut total_bytes = 0u64;
+    let mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)> = Vec::new();
+    for segments in map_outputs {
+        let Some(seg) = segments.get(partition) else {
+            continue;
+        };
+        if seg.is_empty() {
+            continue;
+        }
+        let bytes = seg.len() as u64;
+        total_bytes += bytes;
+        // Read the mapper's local spill file and move it over the network;
+        // §6.1: equal cost for all destinations, local or remote.
+        simgrid::meter::charge(Charge::DiskRead { bytes });
+        simgrid::meter::charge(Charge::NetTransfer { bytes });
+        pairs.extend(decode_segment::<J::K2, J::V2>(seg)?);
+    }
+    simgrid::meter::charge(Charge::Deserialize { bytes: total_bytes });
+    if total_bytes as usize > sort_buffer_bytes {
+        // Out-of-core merge: one extra round trip through local disk.
+        simgrid::meter::charge(Charge::DiskWrite { bytes: total_bytes });
+        simgrid::meter::charge(Charge::DiskRead { bytes: total_bytes });
+    }
+    simgrid::meter::charge(Charge::Sort {
+        records: pairs.len() as u64,
+    });
+    let sort_cmp = job.sort_comparator();
+    hmr_api::comparator::sort_pairs_by(&mut pairs, &sort_cmp);
+    let group_cmp = job.grouping_comparator();
+    let spans = hmr_api::comparator::group_spans(&pairs, &group_cmp);
+
+    ctx.incr_task_counter(task_counter::REDUCE_INPUT_RECORDS, pairs.len() as i64);
+    ctx.incr_task_counter(task_counter::REDUCE_INPUT_GROUPS, spans.len() as i64);
+
+    let writer = output_format.record_writer(fs, conf, partition)?;
+    let mut sink = WriterCollector {
+        writer,
+        named: std::collections::HashMap::new(),
+        format: output_format,
+        fs,
+        conf,
+        partition,
+        records: 0,
+    };
+    let mut reducer = job.create_reducer(conf);
+    let compute_start = Instant::now();
+    reducer.setup(&mut ctx)?;
+    for span in spans {
+        let key = Arc::clone(&pairs[span.start].0);
+        let mut values = pairs[span.clone()].iter().map(|(_, v)| Arc::clone(v));
+        reducer.reduce(key, &mut values, &mut sink, &mut ctx)?;
+    }
+    reducer.cleanup(&mut sink, &mut ctx)?;
+    simgrid::meter::charge(Charge::Compute {
+        seconds: compute_start.elapsed().as_secs_f64(),
+    });
+    let records = sink.close()?;
+    ctx.incr_task_counter(task_counter::REDUCE_OUTPUT_RECORDS, records as i64);
+    Ok((ctx.into_counters(), records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmr_api::comparator::KeyComparator;
+    use hmr_api::io::seqfile::{read_seq_file, write_seq_file};
+    use hmr_api::io::{SequenceFileInputFormat, SequenceFileOutputFormat};
+    use hmr_api::task::{IdentityMapper, IdentityReducer, LongSumReducer, TaskMapper, TaskReducer};
+    use hmr_api::writable::{LongWritable, Text};
+    use hmr_api::HPath;
+    use simdfs::SimDfs;
+    use simgrid::CostModel;
+
+    /// WordCount: the canonical test job.
+    struct WordCount {
+        with_combiner: bool,
+    }
+
+    struct WcMapper;
+
+    impl TaskMapper<LongWritable, Text, Text, LongWritable> for WcMapper {
+        fn map(
+            &mut self,
+            _key: Arc<LongWritable>,
+            value: Arc<Text>,
+            out: &mut dyn OutputCollector<Text, LongWritable>,
+            _ctx: &mut TaskContext,
+        ) -> Result<()> {
+            for tok in value.as_str().split_whitespace() {
+                out.collect(Arc::new(Text::from(tok)), Arc::new(LongWritable(1)))?;
+            }
+            Ok(())
+        }
+    }
+
+    impl JobDef for WordCount {
+        type K1 = LongWritable;
+        type V1 = Text;
+        type K2 = Text;
+        type V2 = LongWritable;
+        type K3 = Text;
+        type V3 = LongWritable;
+
+        fn create_mapper(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn TaskMapper<LongWritable, Text, Text, LongWritable>> {
+            Box::new(WcMapper)
+        }
+        fn create_reducer(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn TaskReducer<Text, LongWritable, Text, LongWritable>> {
+            Box::new(LongSumReducer)
+        }
+        fn create_combiner(
+            &self,
+            _conf: &JobConf,
+        ) -> Option<Box<dyn TaskReducer<Text, LongWritable, Text, LongWritable>>> {
+            self.with_combiner.then(|| {
+                Box::new(LongSumReducer)
+                    as Box<dyn TaskReducer<Text, LongWritable, Text, LongWritable>>
+            })
+        }
+        fn input_format(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn InputFormat<LongWritable, Text>> {
+            Box::new(hmr_api::io::TextInputFormat)
+        }
+        fn output_format(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn OutputFormat<Text, LongWritable>> {
+            Box::new(SequenceFileOutputFormat::new())
+        }
+        fn name(&self) -> &str {
+            "wordcount"
+        }
+    }
+
+    fn setup(nodes: usize) -> (HadoopEngine, SimDfs) {
+        let cluster = Cluster::new(nodes, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+        let engine = HadoopEngine::with_options(
+            cluster,
+            Arc::new(fs.clone()),
+            EngineOptions {
+                map_slots_per_node: 2,
+                reduce_slots_per_node: 2,
+                sort_buffer_bytes: 1 << 16,
+                max_task_attempts: 4,
+            },
+        );
+        (engine, fs)
+    }
+
+    fn wc_conf(reducers: usize) -> JobConf {
+        let mut conf = JobConf::new();
+        conf.add_input_path(&HPath::new("/in"));
+        conf.set_output_path(&HPath::new("/out"));
+        conf.set_num_reduce_tasks(reducers);
+        conf
+    }
+
+    fn load_counts(fs: &SimDfs, dir: &str, parts: usize) -> std::collections::BTreeMap<String, i64> {
+        let mut m = std::collections::BTreeMap::new();
+        for p in 0..parts {
+            let path = HPath::new(format!("{dir}/part-{p:05}"));
+            if !fs.exists(&path) {
+                continue;
+            }
+            for (k, v) in read_seq_file::<Text, LongWritable>(fs, &path).unwrap() {
+                *m.entry(k.as_str().to_string()).or_insert(0) += v.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn wordcount_produces_correct_counts() {
+        let (mut engine, fs) = setup(3);
+        hmr_api::fs::write_file(
+            &fs,
+            &HPath::new("/in/a.txt"),
+            b"the quick brown fox\nthe lazy dog\nthe end",
+        )
+        .unwrap();
+        hmr_api::fs::write_file(&fs, &HPath::new("/in/b.txt"), b"quick quick dog").unwrap();
+        let result = engine
+            .run_job(Arc::new(WordCount { with_combiner: false }), &wc_conf(2))
+            .unwrap();
+        let counts = load_counts(&fs, "/out", 2);
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["quick"], 3);
+        assert_eq!(counts["dog"], 2);
+        assert_eq!(counts["end"], 1);
+        assert_eq!(result.output_records, counts.len() as u64);
+        assert!(fs.exists(&HPath::new("/out/_SUCCESS")));
+        // Framework counters line up.
+        assert_eq!(result.counters.task(task_counter::MAP_INPUT_RECORDS), 4);
+        assert_eq!(result.counters.task(task_counter::MAP_OUTPUT_RECORDS), 12);
+        assert_eq!(result.counters.task(task_counter::REDUCE_INPUT_RECORDS), 12);
+        assert_eq!(
+            result.counters.task(task_counter::REDUCE_OUTPUT_RECORDS),
+            counts.len() as i64
+        );
+        assert!(result.sim_time > 0.0, "time passed");
+        assert!(result.metrics.task_startups >= 4, "2 maps + 2 reduces");
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_but_not_answers() {
+        let text = "a b a b a b c\n".repeat(50);
+        let (mut engine, fs) = setup(2);
+        hmr_api::fs::write_file(&fs, &HPath::new("/in/t.txt"), text.as_bytes()).unwrap();
+        let without = engine
+            .run_job(Arc::new(WordCount { with_combiner: false }), &wc_conf(2))
+            .unwrap();
+        let counts_plain = load_counts(&fs, "/out", 2);
+        fs.delete(&HPath::new("/out"), true).unwrap();
+        let with = engine
+            .run_job(Arc::new(WordCount { with_combiner: true }), &wc_conf(2))
+            .unwrap();
+        let counts_comb = load_counts(&fs, "/out", 2);
+        assert_eq!(counts_plain, counts_comb, "combiner must not change results");
+        assert_eq!(counts_comb["a"], 150);
+        assert!(
+            with.counters.task(task_counter::REDUCE_INPUT_RECORDS)
+                < without.counters.task(task_counter::REDUCE_INPUT_RECORDS),
+            "combiner reduces shuffled records"
+        );
+        assert!(with.counters.task(task_counter::COMBINE_INPUT_RECORDS) > 0);
+    }
+
+    #[test]
+    fn every_job_pays_startup_and_disk_costs() {
+        // The structural claim behind the paper's Figure 6 Hadoop line:
+        // repeating an identical job costs the same again — no caching.
+        let (mut engine, fs) = setup(2);
+        hmr_api::fs::write_file(&fs, &HPath::new("/in/t.txt"), b"x y z x").unwrap();
+        let r1 = engine
+            .run_job(Arc::new(WordCount { with_combiner: false }), &wc_conf(1))
+            .unwrap();
+        fs.delete(&HPath::new("/out"), true).unwrap();
+        let r2 = engine
+            .run_job(Arc::new(WordCount { with_combiner: false }), &wc_conf(1))
+            .unwrap();
+        assert!(r2.metrics.disk_bytes_read >= r1.metrics.disk_bytes_read);
+        assert_eq!(r2.metrics.task_startups, r1.metrics.task_startups);
+        assert!(
+            (r2.sim_time - r1.sim_time).abs() < 0.35 * r1.sim_time.max(1e-9),
+            "iterations cost roughly the same: {} vs {}",
+            r1.sim_time,
+            r2.sim_time
+        );
+    }
+
+    /// Identity job over sequence files, used for map-only and sorting tests.
+    struct IdJob;
+
+    impl JobDef for IdJob {
+        type K1 = LongWritable;
+        type V1 = Text;
+        type K2 = LongWritable;
+        type V2 = Text;
+        type K3 = LongWritable;
+        type V3 = Text;
+        fn create_mapper(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn TaskMapper<LongWritable, Text, LongWritable, Text>> {
+            Box::new(IdentityMapper)
+        }
+        fn create_reducer(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn TaskReducer<LongWritable, Text, LongWritable, Text>> {
+            Box::new(IdentityReducer)
+        }
+        fn input_format(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn InputFormat<LongWritable, Text>> {
+            Box::new(SequenceFileInputFormat::new())
+        }
+        fn output_format(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn OutputFormat<LongWritable, Text>> {
+            Box::new(SequenceFileOutputFormat::new())
+        }
+        fn map_only_convert(
+            &self,
+        ) -> Option<hmr_api::job::MapOnlyConvert<LongWritable, Text, LongWritable, Text>>
+        {
+            Some(Arc::new(|k, v| (k, v)))
+        }
+        fn sort_comparator(&self) -> KeyComparator<LongWritable> {
+            KeyComparator::natural()
+        }
+    }
+
+    #[test]
+    fn map_only_job_writes_directly() {
+        let (mut engine, fs) = setup(2);
+        let records: Vec<(LongWritable, Text)> = (0..10)
+            .map(|i| (LongWritable(i), Text::from(format!("v{i}"))))
+            .collect();
+        write_seq_file(&fs, &HPath::new("/in/part-00000"), &records).unwrap();
+        let result = engine.run_job(Arc::new(IdJob), &wc_conf(0)).unwrap();
+        assert_eq!(result.output_records, 10);
+        // Output file indexed by the map task, not a reducer partition.
+        let back: Vec<(LongWritable, Text)> =
+            read_seq_file(&fs, &HPath::new("/out/part-00000")).unwrap();
+        assert_eq!(back.len(), 10);
+        assert_eq!(
+            result.counters.task(task_counter::REDUCE_INPUT_RECORDS),
+            0,
+            "no reduce phase ran"
+        );
+    }
+
+    #[test]
+    fn reduce_output_is_sorted_by_key() {
+        let (mut engine, fs) = setup(2);
+        let mut records: Vec<(LongWritable, Text)> = (0..50)
+            .map(|i| (LongWritable(100 - i), Text::from(format!("v{i}"))))
+            .collect();
+        records.push((LongWritable(-5), Text::from("first")));
+        write_seq_file(&fs, &HPath::new("/in/part-00000"), &records).unwrap();
+        engine.run_job(Arc::new(IdJob), &wc_conf(1)).unwrap();
+        let back: Vec<(LongWritable, Text)> =
+            read_seq_file(&fs, &HPath::new("/out/part-00000")).unwrap();
+        assert_eq!(back.len(), 51);
+        for w in back.windows(2) {
+            assert!(w[0].0 <= w[1].0, "reduce input sort order leaks to output");
+        }
+        assert_eq!(back[0].1.as_str(), "first");
+    }
+
+    #[test]
+    fn map_only_without_convert_is_invalid() {
+        struct NoConvert;
+        impl JobDef for NoConvert {
+            type K1 = LongWritable;
+            type V1 = Text;
+            type K2 = LongWritable;
+            type V2 = Text;
+            type K3 = LongWritable;
+            type V3 = Text;
+            fn create_mapper(
+                &self,
+                _c: &JobConf,
+            ) -> Box<dyn TaskMapper<LongWritable, Text, LongWritable, Text>> {
+                Box::new(IdentityMapper)
+            }
+            fn create_reducer(
+                &self,
+                _c: &JobConf,
+            ) -> Box<dyn TaskReducer<LongWritable, Text, LongWritable, Text>> {
+                Box::new(IdentityReducer)
+            }
+            fn input_format(
+                &self,
+                _c: &JobConf,
+            ) -> Box<dyn InputFormat<LongWritable, Text>> {
+                Box::new(SequenceFileInputFormat::new())
+            }
+            fn output_format(
+                &self,
+                _c: &JobConf,
+            ) -> Box<dyn OutputFormat<LongWritable, Text>> {
+                Box::new(SequenceFileOutputFormat::new())
+            }
+        }
+        let (mut engine, fs) = setup(1);
+        write_seq_file(
+            &fs,
+            &HPath::new("/in/part-00000"),
+            &[(LongWritable(1), Text::from("x"))],
+        )
+        .unwrap();
+        let err = engine.run_job(Arc::new(NoConvert), &wc_conf(0)).unwrap_err();
+        assert!(matches!(err, HmrError::InvalidJob(_)));
+    }
+
+    #[test]
+    fn startup_dominates_tiny_jobs() {
+        // The paper's motivation: "small HMR jobs can run essentially
+        // instantly on M3R, avoiding the huge (10s of second) start-up cost
+        // of the HMR engine." Verify the simulated Hadoop overhead floor.
+        let (mut engine, fs) = setup(2);
+        hmr_api::fs::write_file(&fs, &HPath::new("/in/tiny.txt"), b"one word").unwrap();
+        let r = engine
+            .run_job(Arc::new(WordCount { with_combiner: false }), &wc_conf(1))
+            .unwrap();
+        assert!(
+            r.sim_time > 5.0,
+            "submission + heartbeats + JVM startups put a floor under job time, got {}",
+            r.sim_time
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! User-specified sorting and grouping comparators.
+//!
+//! The HMR APIs supported by M3R include "user-specified sorting and
+//! grouping comparators" (§1). The *sort* comparator orders the reduce
+//! input; the *grouping* comparator decides which adjacent keys share one
+//! `reduce()` call (secondary-sort idiom).
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A total order over keys, shareable across tasks and places.
+#[derive(Clone)]
+pub struct KeyComparator<K> {
+    cmp: Arc<dyn Fn(&K, &K) -> Ordering + Send + Sync>,
+}
+
+impl<K> KeyComparator<K> {
+    /// Wrap an arbitrary comparison function.
+    pub fn new(f: impl Fn(&K, &K) -> Ordering + Send + Sync + 'static) -> Self {
+        KeyComparator { cmp: Arc::new(f) }
+    }
+
+    /// Compare two keys.
+    pub fn compare(&self, a: &K, b: &K) -> Ordering {
+        (self.cmp)(a, b)
+    }
+
+    /// Keys equal under this comparator (used for grouping).
+    pub fn same_group(&self, a: &K, b: &K) -> bool {
+        self.compare(a, b) == Ordering::Equal
+    }
+}
+
+impl<K: Ord> KeyComparator<K> {
+    /// The key type's natural order — Hadoop's `WritableComparable` default.
+    pub fn natural() -> Self {
+        KeyComparator::new(|a: &K, b: &K| a.cmp(b))
+    }
+
+    /// Natural order reversed (descending sort).
+    pub fn reversed() -> Self {
+        KeyComparator::new(|a: &K, b: &K| b.cmp(a))
+    }
+}
+
+impl<K> std::fmt::Debug for KeyComparator<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KeyComparator<{}>", std::any::type_name::<K>())
+    }
+}
+
+/// Sort `pairs` by key under `cmp`, stably — matching Hadoop, where equal
+/// keys keep their shuffle arrival order within a partition.
+pub fn sort_pairs_by<K, V>(pairs: &mut [(Arc<K>, Arc<V>)], cmp: &KeyComparator<K>) {
+    pairs.sort_by(|a, b| cmp.compare(&a.0, &b.0));
+}
+
+/// Group adjacent sorted pairs by `grouping`: yields `(first_key_of_group,
+/// values...)` ranges as index spans.
+pub fn group_spans<K, V>(
+    pairs: &[(Arc<K>, Arc<V>)],
+    grouping: &KeyComparator<K>,
+) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for i in 1..pairs.len() {
+        if !grouping.same_group(&pairs[i - 1].0, &pairs[i].0) {
+            spans.push(start..i);
+            start = i;
+        }
+    }
+    if !pairs.is_empty() {
+        spans.push(start..pairs.len());
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writable::{IntWritable, PairWritable, Text};
+
+    fn kv(k: i32, v: &str) -> (Arc<IntWritable>, Arc<Text>) {
+        (Arc::new(IntWritable(k)), Arc::new(Text::from(v)))
+    }
+
+    #[test]
+    fn natural_and_reversed_orders() {
+        let nat = KeyComparator::<IntWritable>::natural();
+        let rev = KeyComparator::<IntWritable>::reversed();
+        assert_eq!(nat.compare(&IntWritable(1), &IntWritable(2)), Ordering::Less);
+        assert_eq!(rev.compare(&IntWritable(1), &IntWritable(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys() {
+        let mut pairs = vec![kv(2, "a"), kv(1, "b"), kv(2, "c"), kv(1, "d")];
+        sort_pairs_by(&mut pairs, &KeyComparator::natural());
+        let flat: Vec<(i32, String)> = pairs
+            .iter()
+            .map(|(k, v)| (k.0, v.as_str().to_string()))
+            .collect();
+        assert_eq!(
+            flat,
+            vec![
+                (1, "b".into()),
+                (1, "d".into()),
+                (2, "a".into()),
+                (2, "c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn group_spans_partition_sorted_input() {
+        let mut pairs = vec![kv(1, "a"), kv(1, "b"), kv(2, "c"), kv(3, "d"), kv(3, "e")];
+        sort_pairs_by(&mut pairs, &KeyComparator::natural());
+        let spans = group_spans(&pairs, &KeyComparator::natural());
+        assert_eq!(spans, vec![0..2, 2..3, 3..5]);
+    }
+
+    #[test]
+    fn group_spans_empty_input() {
+        let pairs: Vec<(Arc<IntWritable>, Arc<Text>)> = Vec::new();
+        assert!(group_spans(&pairs, &KeyComparator::natural()).is_empty());
+    }
+
+    #[test]
+    fn secondary_sort_idiom() {
+        // Sort by (primary, secondary) but group by primary only: each
+        // reduce group sees its values ordered by the secondary key.
+        type K = PairWritable<IntWritable, IntWritable>;
+        let sort = KeyComparator::<K>::natural();
+        let group = KeyComparator::<K>::new(|a: &K, b: &K| a.0.cmp(&b.0));
+        let mk = |p: i32, s: i32| {
+            (
+                Arc::new(PairWritable(IntWritable(p), IntWritable(s))),
+                Arc::new(Text::from(format!("{p}/{s}"))),
+            )
+        };
+        let mut pairs = vec![mk(1, 9), mk(2, 1), mk(1, 3), mk(2, 0), mk(1, 5)];
+        sort_pairs_by(&mut pairs, &sort);
+        let spans = group_spans(&pairs, &group);
+        assert_eq!(spans.len(), 2, "grouped by primary key only");
+        let first_group: Vec<i32> = pairs[spans[0].clone()]
+            .iter()
+            .map(|(k, _)| k.1 .0)
+            .collect();
+        assert_eq!(first_group, vec![3, 5, 9], "secondary order inside group");
+    }
+
+    #[cfg(test)]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn spans_cover_input_exactly(keys in proptest::collection::vec(0i32..10, 0..60)) {
+                let mut pairs: Vec<(Arc<IntWritable>, Arc<IntWritable>)> = keys
+                    .iter()
+                    .map(|k| (Arc::new(IntWritable(*k)), Arc::new(IntWritable(0))))
+                    .collect();
+                sort_pairs_by(&mut pairs, &KeyComparator::natural());
+                let spans = group_spans(&pairs, &KeyComparator::natural());
+                // Spans tile [0, len) without gaps or overlaps.
+                let mut cursor = 0;
+                for s in &spans {
+                    prop_assert_eq!(s.start, cursor);
+                    prop_assert!(s.end > s.start);
+                    cursor = s.end;
+                }
+                prop_assert_eq!(cursor, pairs.len());
+                // All keys within a span are equal; adjacent spans differ.
+                for s in &spans {
+                    for w in pairs[s.clone()].windows(2) {
+                        prop_assert_eq!(w[0].0 .0, w[1].0 .0);
+                    }
+                }
+                for w in spans.windows(2) {
+                    prop_assert!(pairs[w[0].start].0 .0 != pairs[w[1].start].0 .0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The Hadoop distributed cache (§5.3: "M3R also supports many auxiliary
+//! features of Hadoop, including counters and the distributed cache").
+//!
+//! Files listed under `mapred.cache.files` in the job configuration are
+//! materialized once per node before tasks start and exposed read-only to
+//! user code. Under M3R the loaded bytes additionally persist across jobs
+//! in the long-lived places.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::conf::JobConf;
+use crate::error::Result;
+use crate::fs::{FileSystem, HPath};
+
+/// The materialized distributed cache for one task: path string → contents.
+#[derive(Clone, Debug, Default)]
+pub struct DistCache {
+    files: HashMap<String, Arc<Vec<u8>>>,
+}
+
+impl DistCache {
+    /// A cache with no files.
+    pub fn empty() -> Self {
+        DistCache::default()
+    }
+
+    /// Load every `mapred.cache.files` entry from `fs`. I/O passes through
+    /// the filesystem, so a metered DFS charges the loading node.
+    pub fn load(conf: &JobConf, fs: &dyn FileSystem) -> Result<Self> {
+        let mut files = HashMap::new();
+        for path in conf.cache_files() {
+            let bytes = fs.open(&path)?.read_all()?;
+            files.insert(path.as_str().to_string(), Arc::new(bytes));
+        }
+        Ok(DistCache { files })
+    }
+
+    /// Build from pre-loaded entries (M3R's cross-job memoization).
+    pub fn from_entries(entries: impl IntoIterator<Item = (HPath, Arc<Vec<u8>>)>) -> Self {
+        DistCache {
+            files: entries
+                .into_iter()
+                .map(|(p, b)| (p.as_str().to_string(), b))
+                .collect(),
+        }
+    }
+
+    /// Contents of the cached file registered under `path`.
+    pub fn get(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        self.files.get(HPath::new(path).as_str()).cloned()
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no file is cached.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{write_file, MemFs};
+
+    #[test]
+    fn loads_configured_files() {
+        let fs = MemFs::new();
+        write_file(&fs, &HPath::new("/dict/en"), b"alpha beta").unwrap();
+        write_file(&fs, &HPath::new("/dict/fr"), b"un deux").unwrap();
+        let mut conf = JobConf::new();
+        conf.add_cache_file(&HPath::new("/dict/en"));
+        conf.add_cache_file(&HPath::new("/dict/fr"));
+        let cache = DistCache::load(&conf, &fs).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(&*cache.get("/dict/en").unwrap(), b"alpha beta");
+        assert_eq!(&*cache.get("dict/fr").unwrap(), b"un deux", "path normalization applies");
+        assert!(cache.get("/dict/de").is_none());
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let fs = MemFs::new();
+        let mut conf = JobConf::new();
+        conf.add_cache_file(&HPath::new("/nope"));
+        assert!(DistCache::load(&conf, &fs).is_err());
+    }
+
+    #[test]
+    fn from_entries_builds_directly() {
+        let cache = DistCache::from_entries([(
+            HPath::new("/x"),
+            Arc::new(b"data".to_vec()),
+        )]);
+        assert_eq!(&*cache.get("/x").unwrap(), b"data");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type shared by the API, the filesystems, and both engines.
+
+/// Errors surfaced by the Hadoop MapReduce API and its implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HmrError {
+    /// Filesystem-level failure.
+    Io(String),
+    /// A path was expected to exist and did not.
+    NotFound(String),
+    /// A path was expected to be absent and was not.
+    AlreadyExists(String),
+    /// (De)serialization failure.
+    Serde(String),
+    /// The requested feature is not supported by this engine/format.
+    Unsupported(String),
+    /// The job configuration is inconsistent (e.g. zero reducers without a
+    /// map-only conversion).
+    InvalidJob(String),
+}
+
+impl std::fmt::Display for HmrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HmrError::Io(s) => write!(f, "I/O error: {s}"),
+            HmrError::NotFound(s) => write!(f, "not found: {s}"),
+            HmrError::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            HmrError::Serde(s) => write!(f, "serialization error: {s}"),
+            HmrError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            HmrError::InvalidJob(s) => write!(f, "invalid job: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for HmrError {}
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, HmrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            HmrError::NotFound("/data/x".into()).to_string(),
+            "not found: /data/x"
+        );
+        assert!(HmrError::InvalidJob("0 reducers".into())
+            .to_string()
+            .contains("invalid job"));
+    }
+}

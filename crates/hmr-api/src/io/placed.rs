@@ -1,0 +1,134 @@
+//! `PlacedSplit` wrapper format (§4.3, §6.1.1 "further work").
+//!
+//! "In the common case where the input data is partitioned along the same
+//! lines, but merely permuted across the hosts, HDFS remote reads could be
+//! used to bring the data into the correct mapper. The data would be cached
+//! in the right place so the cost would be only for the first iteration.
+//! This would be implemented using the PlacedSplit API ... to override
+//! M3R's preference of local splits."
+//!
+//! [`PlacedByPartFile`] implements exactly that: it wraps a file-based
+//! input format and tags each `part-NNNNN` split with partition `NNNNN`, so
+//! an M3R-style engine maps the split at that partition's place — paying
+//! one remote read instead of a whole repartitioning job. Stock Hadoop
+//! ignores the placement, as required.
+
+use std::sync::Arc;
+
+use crate::conf::JobConf;
+use crate::error::Result;
+use crate::fs::FileSystem;
+use crate::io::split::{FileSplit, InputSplit, PlacedFileSplit};
+use crate::io::{InputFormat, RecordReader};
+
+/// Wraps an input format, upgrading its `FileSplit`s over `part-NNNNN`
+/// files into `PlacedFileSplit`s pinned to partition `NNNNN`.
+pub struct PlacedByPartFile<F> {
+    inner: F,
+}
+
+impl<F> PlacedByPartFile<F> {
+    /// Wrap `inner`.
+    pub fn new(inner: F) -> Self {
+        PlacedByPartFile { inner }
+    }
+}
+
+/// Parse the partition index out of a `part-NNNNN` (or `name-part-NNNNN`)
+/// file name.
+pub fn partition_of_part_file(name: &str) -> Option<usize> {
+    let idx = name.rfind("part-")?;
+    name[idx + 5..].parse().ok()
+}
+
+impl<K, V, F: InputFormat<K, V>> InputFormat<K, V> for PlacedByPartFile<F> {
+    fn get_splits(
+        &self,
+        fs: &dyn FileSystem,
+        conf: &JobConf,
+        hint: usize,
+    ) -> Result<Vec<Arc<dyn InputSplit>>> {
+        let mut out: Vec<Arc<dyn InputSplit>> = Vec::new();
+        for split in self.inner.get_splits(fs, conf, hint)? {
+            let placed = split.as_any().downcast_ref::<FileSplit>().and_then(|f| {
+                let partition = f.path.name().and_then(partition_of_part_file)?;
+                Some(PlacedFileSplit {
+                    file: f.clone(),
+                    partition,
+                })
+            });
+            match placed {
+                Some(p) => out.push(Arc::new(p)),
+                None => out.push(split),
+            }
+        }
+        Ok(out)
+    }
+
+    fn record_reader(
+        &self,
+        fs: &dyn FileSystem,
+        split: &dyn InputSplit,
+        conf: &JobConf,
+    ) -> Result<Box<dyn RecordReader<K, V>>> {
+        self.inner.record_reader(fs, split, conf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{HPath, MemFs};
+    use crate::io::seqfile::{write_seq_file, SequenceFileInputFormat};
+    use crate::writable::{IntWritable, Text};
+
+    #[test]
+    fn part_file_names_parse() {
+        assert_eq!(partition_of_part_file("part-00007"), Some(7));
+        assert_eq!(partition_of_part_file("even-part-00012"), Some(12));
+        assert_eq!(partition_of_part_file("data.txt"), None);
+        assert_eq!(partition_of_part_file("part-xyz"), None);
+    }
+
+    #[test]
+    fn splits_gain_placement_and_still_read() {
+        let fs = MemFs::new();
+        for p in 0..3 {
+            write_seq_file(
+                &fs,
+                &HPath::new(format!("/in/part-{p:05}")),
+                &[(IntWritable(p), Text::from("x"))],
+            )
+            .unwrap();
+        }
+        let mut conf = JobConf::new();
+        conf.add_input_path(&HPath::new("/in"));
+        let fmt = PlacedByPartFile::new(SequenceFileInputFormat::<IntWritable, Text>::new());
+        let splits = fmt.get_splits(&fs, &conf, 3).unwrap();
+        assert_eq!(splits.len(), 3);
+        for (i, s) in splits.iter().enumerate() {
+            assert_eq!(s.placed_partition(), Some(i), "split {i} placed");
+            assert!(s.cache_name().is_some(), "DelegatingSplit naming kept");
+        }
+        // Reading still goes through the wrapped format.
+        let mut r = fmt.record_reader(&fs, splits[1].as_ref(), &conf).unwrap();
+        let (k, _) = r.next().unwrap().unwrap();
+        assert_eq!(k.0, 1);
+    }
+
+    #[test]
+    fn non_part_files_pass_through_unplaced() {
+        let fs = MemFs::new();
+        write_seq_file(
+            &fs,
+            &HPath::new("/in/data.seq"),
+            &[(IntWritable(0), Text::from("x"))],
+        )
+        .unwrap();
+        let mut conf = JobConf::new();
+        conf.add_input_path(&HPath::new("/in"));
+        let fmt = PlacedByPartFile::new(SequenceFileInputFormat::<IntWritable, Text>::new());
+        let splits = fmt.get_splits(&fs, &conf, 1).unwrap();
+        assert_eq!(splits[0].placed_partition(), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! SequenceFile: the binary key/value container both engines read and write.
+//!
+//! Layout: 4-byte magic `SEQ6`, then a stream of records, each
+//! `[vu64 key_len][vu64 val_len][key bytes][val bytes]`. One split covers
+//! one whole file (part files are already the unit of parallelism in job
+//! pipelines, and whole-file splits make split names line up with M3R's
+//! output cache entries).
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::conf::JobConf;
+use crate::error::{HmrError, Result};
+use crate::fs::{FileSystem, FsWriter, HPath};
+use crate::io::split::{FileSplit, InputSplit};
+use crate::io::{list_input_files, part_file_name, InputFormat, OutputFormat, RecordReader, RecordWriter};
+use crate::writable::{write_vu64, ByteReader, Writable};
+
+const MAGIC: &[u8; 4] = b"SEQ6";
+
+/// Serialize one record onto `out`.
+pub fn append_record<K: Writable, V: Writable>(out: &mut Vec<u8>, key: &K, value: &V) {
+    let mut kbuf = Vec::new();
+    key.write_to(&mut kbuf);
+    let mut vbuf = Vec::new();
+    value.write_to(&mut vbuf);
+    write_vu64(out, kbuf.len() as u64);
+    write_vu64(out, vbuf.len() as u64);
+    out.extend_from_slice(&kbuf);
+    out.extend_from_slice(&vbuf);
+}
+
+/// Reads `(K, V)` records from SequenceFiles.
+pub struct SequenceFileInputFormat<K, V> {
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Default for SequenceFileInputFormat<K, V> {
+    fn default() -> Self {
+        SequenceFileInputFormat {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K, V> SequenceFileInputFormat<K, V> {
+    /// A new format instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<K: Writable, V: Writable> InputFormat<K, V> for SequenceFileInputFormat<K, V> {
+    fn get_splits(
+        &self,
+        fs: &dyn FileSystem,
+        conf: &JobConf,
+        _hint: usize,
+    ) -> Result<Vec<Arc<dyn InputSplit>>> {
+        let mut splits: Vec<Arc<dyn InputSplit>> = Vec::new();
+        for file in list_input_files(fs, conf)? {
+            let status = fs.get_file_status(&file)?;
+            // Preserve replica order: the first location is the primary
+            // (write-local) replica, which schedulers prefer.
+            let mut hosts: Vec<usize> = Vec::new();
+            for replica_set in fs.block_locations(&file, 0, status.len)? {
+                for h in replica_set {
+                    if !hosts.contains(&h) {
+                        hosts.push(h);
+                    }
+                }
+            }
+            splits.push(Arc::new(FileSplit::whole_file(file, status.len, hosts)));
+        }
+        Ok(splits)
+    }
+
+    fn record_reader(
+        &self,
+        fs: &dyn FileSystem,
+        split: &dyn InputSplit,
+        _conf: &JobConf,
+    ) -> Result<Box<dyn RecordReader<K, V>>> {
+        let file = split
+            .as_any()
+            .downcast_ref::<FileSplit>()
+            .or_else(|| {
+                split
+                    .as_any()
+                    .downcast_ref::<crate::io::split::PlacedFileSplit>()
+                    .map(|p| &p.file)
+            })
+            .ok_or_else(|| {
+                HmrError::Unsupported("SequenceFileInputFormat needs a FileSplit".into())
+            })?;
+        let mut reader = fs.open(&file.path)?;
+        let bytes = reader.read_range(file.offset, file.len)?;
+        Ok(Box::new(SeqFileReader {
+            bytes,
+            pos: 0,
+            checked_magic: false,
+            _marker: PhantomData,
+        }))
+    }
+}
+
+struct SeqFileReader<K, V> {
+    bytes: Vec<u8>,
+    pos: usize,
+    checked_magic: bool,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: Writable, V: Writable> RecordReader<K, V> for SeqFileReader<K, V> {
+    fn next(&mut self) -> Result<Option<(K, V)>> {
+        if !self.checked_magic {
+            if self.bytes.len() < 4 || &self.bytes[..4] != MAGIC {
+                return Err(HmrError::Serde("bad SequenceFile magic".into()));
+            }
+            self.pos = 4;
+            self.checked_magic = true;
+        }
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        let mut r = ByteReader::new(&self.bytes[self.pos..]);
+        let klen = r.read_vu64()? as usize;
+        let vlen = r.read_vu64()? as usize;
+        let key = {
+            let kbytes = r.read_bytes(klen)?;
+            let mut kr = ByteReader::new(kbytes);
+            K::read_from(&mut kr)?
+        };
+        let value = {
+            let vbytes = r.read_bytes(vlen)?;
+            let mut vr = ByteReader::new(vbytes);
+            V::read_from(&mut vr)?
+        };
+        self.pos += r.position();
+        Ok(Some((key, value)))
+    }
+}
+
+/// Writes `(K, V)` records to `{output}/part-NNNNN` SequenceFiles.
+pub struct SequenceFileOutputFormat<K, V> {
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Default for SequenceFileOutputFormat<K, V> {
+    fn default() -> Self {
+        SequenceFileOutputFormat {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K, V> SequenceFileOutputFormat<K, V> {
+    /// A new format instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<K: Writable, V: Writable> SequenceFileOutputFormat<K, V> {
+    fn open_writer(
+        &self,
+        fs: &dyn FileSystem,
+        conf: &JobConf,
+        file_name: &str,
+    ) -> Result<Box<dyn RecordWriter<K, V>>> {
+        let dir = conf
+            .output_path()
+            .ok_or_else(|| HmrError::InvalidJob("no output path configured".into()))?;
+        let path = dir.join(file_name);
+        let mut w = fs.create(&path)?;
+        w.write_all(MAGIC)?;
+        Ok(Box::new(SeqFileWriter {
+            writer: Some(w),
+            buf: Vec::new(),
+            _marker: PhantomData,
+        }))
+    }
+}
+
+impl<K: Writable, V: Writable> OutputFormat<K, V> for SequenceFileOutputFormat<K, V> {
+    fn record_writer(
+        &self,
+        fs: &dyn FileSystem,
+        conf: &JobConf,
+        partition: usize,
+    ) -> Result<Box<dyn RecordWriter<K, V>>> {
+        self.open_writer(fs, conf, &part_file_name(partition))
+    }
+
+    fn record_writer_named(
+        &self,
+        fs: &dyn FileSystem,
+        conf: &JobConf,
+        name: &str,
+        partition: usize,
+    ) -> Result<Box<dyn RecordWriter<K, V>>> {
+        self.open_writer(
+            fs,
+            conf,
+            &crate::multi::named_part_file(name, partition),
+        )
+    }
+}
+
+struct SeqFileWriter<K, V> {
+    writer: Option<Box<dyn FsWriter>>,
+    buf: Vec<u8>,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: Writable, V: Writable> RecordWriter<K, V> for SeqFileWriter<K, V> {
+    fn write(&mut self, key: &K, value: &V) -> Result<()> {
+        self.buf.clear();
+        append_record(&mut self.buf, key, value);
+        self.writer
+            .as_mut()
+            .expect("writer open")
+            .write_all(&self.buf)
+    }
+    fn close(mut self: Box<Self>) -> Result<u64> {
+        self.writer.take().expect("writer open").close()
+    }
+}
+
+/// Write a whole sequence file in one call (generators and tests).
+pub fn write_seq_file<K: Writable, V: Writable>(
+    fs: &dyn FileSystem,
+    path: &HPath,
+    records: &[(K, V)],
+) -> Result<u64> {
+    let mut out = Vec::with_capacity(64 + records.len() * 16);
+    out.extend_from_slice(MAGIC);
+    for (k, v) in records {
+        append_record(&mut out, k, v);
+    }
+    let mut w = fs.create(path)?;
+    w.write_all(&out)?;
+    w.close()
+}
+
+/// Read a whole sequence file in one call.
+pub fn read_seq_file<K: Writable, V: Writable>(
+    fs: &dyn FileSystem,
+    path: &HPath,
+) -> Result<Vec<(K, V)>> {
+    let bytes = fs.open(path)?.read_all()?;
+    let mut reader = SeqFileReader::<K, V> {
+        bytes,
+        pos: 0,
+        checked_magic: false,
+        _marker: PhantomData,
+    };
+    let mut out = Vec::new();
+    while let Some(kv) = reader.next()? {
+        out.push(kv);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+    use crate::writable::{IntWritable, Text};
+
+    #[test]
+    fn seqfile_roundtrip_via_helpers() {
+        let fs = MemFs::new();
+        let records: Vec<(IntWritable, Text)> = (0..100)
+            .map(|i| (IntWritable(i), Text::from(format!("value-{i}"))))
+            .collect();
+        write_seq_file(&fs, &HPath::new("/data/f"), &records).unwrap();
+        let back: Vec<(IntWritable, Text)> =
+            read_seq_file(&fs, &HPath::new("/data/f")).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn input_format_splits_per_file_with_names() {
+        let fs = MemFs::new();
+        write_seq_file(&fs, &HPath::new("/in/part-00000"), &[(IntWritable(1), Text::from("a"))])
+            .unwrap();
+        write_seq_file(&fs, &HPath::new("/in/part-00001"), &[(IntWritable(2), Text::from("b"))])
+            .unwrap();
+        let mut conf = JobConf::new();
+        conf.add_input_path(&HPath::new("/in"));
+        let fmt = SequenceFileInputFormat::<IntWritable, Text>::new();
+        let splits = fmt.get_splits(&fs, &conf, 4).unwrap();
+        assert_eq!(splits.len(), 2);
+        assert!(splits[0].cache_name().unwrap().starts_with("/in/part-00000@0+"));
+    }
+
+    #[test]
+    fn reader_streams_records() {
+        let fs = MemFs::new();
+        let records: Vec<(IntWritable, IntWritable)> =
+            (0..10).map(|i| (IntWritable(i), IntWritable(i * i))).collect();
+        write_seq_file(&fs, &HPath::new("/in/f"), &records).unwrap();
+        let mut conf = JobConf::new();
+        conf.add_input_path(&HPath::new("/in/f"));
+        let fmt = SequenceFileInputFormat::<IntWritable, IntWritable>::new();
+        let splits = fmt.get_splits(&fs, &conf, 1).unwrap();
+        let mut reader = fmt.record_reader(&fs, splits[0].as_ref(), &conf).unwrap();
+        let mut n = 0;
+        while let Some((k, v)) = reader.next().unwrap() {
+            assert_eq!(v.0, k.0 * k.0);
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn output_format_writes_part_files() {
+        let fs = MemFs::new();
+        let mut conf = JobConf::new();
+        conf.set_output_path(&HPath::new("/out"));
+        let fmt = SequenceFileOutputFormat::<IntWritable, Text>::new();
+        let mut w = fmt.record_writer(&fs, &conf, 3).unwrap();
+        w.write(&IntWritable(9), &Text::from("nine")).unwrap();
+        w.close().unwrap();
+        let back: Vec<(IntWritable, Text)> =
+            read_seq_file(&fs, &HPath::new("/out/part-00003")).unwrap();
+        assert_eq!(back, vec![(IntWritable(9), Text::from("nine"))]);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let fs = MemFs::new();
+        crate::fs::write_file(&fs, &HPath::new("/junk"), b"not a seqfile").unwrap();
+        let r: Result<Vec<(IntWritable, Text)>> = read_seq_file(&fs, &HPath::new("/junk"));
+        assert!(matches!(r, Err(HmrError::Serde(_))));
+    }
+
+    #[test]
+    fn empty_seqfile_yields_no_records() {
+        let fs = MemFs::new();
+        let records: Vec<(IntWritable, Text)> = Vec::new();
+        write_seq_file(&fs, &HPath::new("/empty"), &records).unwrap();
+        let back: Vec<(IntWritable, Text)> =
+            read_seq_file(&fs, &HPath::new("/empty")).unwrap();
+        assert!(back.is_empty());
+    }
+}

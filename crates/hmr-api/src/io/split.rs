@@ -1,0 +1,172 @@
+//! Input splits, including the M3R extension surfaces.
+
+use std::any::Any;
+
+use crate::fs::HPath;
+
+/// Metadata describing one chunk of job input (§3.1: "metadata that
+/// describes where each 'chunk' of input resides").
+pub trait InputSplit: Send + Sync + std::fmt::Debug {
+    /// Split length in bytes (scheduling weight).
+    fn length(&self) -> u64;
+
+    /// Nodes holding the data (locality hints). Empty when unknown.
+    fn locations(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// `NamedSplit` (§4.2.1): "the name to use for the data associated with
+    /// the split". `None` means M3R must bypass its cache for this split.
+    /// `FileSplit`s answer with `path@offset+len`, matching how M3R
+    /// "understands how standard Hadoop input formats work".
+    fn cache_name(&self) -> Option<String> {
+        None
+    }
+
+    /// `PlacedSplit` (§4.3): "what partition the data should be associated
+    /// with"; M3R sends such splits to a mapper at the partition's place.
+    fn placed_partition(&self) -> Option<usize> {
+        None
+    }
+
+    /// Downcast support for format-specific readers.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// A contiguous byte range of one file (Hadoop `FileSplit`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileSplit {
+    /// File containing the data.
+    pub path: HPath,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Range length in bytes.
+    pub len: u64,
+    /// Nodes holding replicas of this range.
+    pub hosts: Vec<usize>,
+}
+
+impl FileSplit {
+    /// A split covering one whole file.
+    pub fn whole_file(path: HPath, len: u64, hosts: Vec<usize>) -> Self {
+        FileSplit {
+            path,
+            offset: 0,
+            len,
+            hosts,
+        }
+    }
+
+    /// The canonical cache name for a file range.
+    pub fn name_for(path: &HPath, offset: u64, len: u64) -> String {
+        format!("{}@{}+{}", path.as_str(), offset, len)
+    }
+}
+
+impl InputSplit for FileSplit {
+    fn length(&self) -> u64 {
+        self.len
+    }
+    fn locations(&self) -> Vec<usize> {
+        self.hosts.clone()
+    }
+    fn cache_name(&self) -> Option<String> {
+        Some(FileSplit::name_for(&self.path, self.offset, self.len))
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A `FileSplit` that additionally implements `PlacedSplit` (§4.3),
+/// pinning the split's mapper to the place owning `partition`. Used to
+/// bring Hadoop-laid-out data into M3R's stable layout without a full
+/// repartitioning job (§6.1.1 further work).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlacedFileSplit {
+    /// The underlying file range.
+    pub file: FileSplit,
+    /// The partition this data belongs to.
+    pub partition: usize,
+}
+
+impl InputSplit for PlacedFileSplit {
+    fn length(&self) -> u64 {
+        self.file.len
+    }
+    fn locations(&self) -> Vec<usize> {
+        self.file.hosts.clone()
+    }
+    fn cache_name(&self) -> Option<String> {
+        self.file.cache_name()
+    }
+    fn placed_partition(&self) -> Option<usize> {
+        Some(self.partition)
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A user-defined split with no name: the case where "M3R is forced to
+/// bypass the cache for the data associated with the split" (§4.2.1).
+/// Carries an index into some format-private in-memory source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemorySplit {
+    /// Index into the format's private data.
+    pub index: usize,
+    /// Advertised length (scheduling weight).
+    pub len: u64,
+}
+
+impl InputSplit for MemorySplit {
+    fn length(&self) -> u64 {
+        self.len
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_split_names_encode_range() {
+        let s = FileSplit {
+            path: HPath::new("/data/part-00000"),
+            offset: 128,
+            len: 64,
+            hosts: vec![2],
+        };
+        assert_eq!(s.cache_name().unwrap(), "/data/part-00000@128+64");
+        assert_eq!(s.length(), 64);
+        assert_eq!(s.locations(), vec![2]);
+        assert_eq!(s.placed_partition(), None, "plain FileSplit is unplaced");
+    }
+
+    #[test]
+    fn placed_split_delegates_and_places() {
+        let s = PlacedFileSplit {
+            file: FileSplit::whole_file(HPath::new("/d/f"), 10, vec![1]),
+            partition: 5,
+        };
+        assert_eq!(s.placed_partition(), Some(5));
+        assert_eq!(s.cache_name().unwrap(), "/d/f@0+10", "DelegatingSplit behaviour");
+    }
+
+    #[test]
+    fn memory_split_is_anonymous() {
+        let s = MemorySplit { index: 3, len: 100 };
+        assert_eq!(s.cache_name(), None, "unnamed splits bypass the cache");
+    }
+
+    #[test]
+    fn downcasting_recovers_concrete_split() {
+        let s: Box<dyn InputSplit> =
+            Box::new(FileSplit::whole_file(HPath::new("/f"), 1, vec![]));
+        let f = s.as_any().downcast_ref::<FileSplit>().unwrap();
+        assert_eq!(f.path, HPath::new("/f"));
+    }
+}

@@ -1,0 +1,190 @@
+//! `JobDef` — the typed description of one MapReduce job — and the
+//! [`Engine`] contract both the Hadoop and M3R engines implement.
+//!
+//! Hadoop configures jobs with class names inside a `JobConf`; the typed
+//! Rust equivalent is a trait whose associated types fix the three
+//! key/value domains (input `K1,V1`, intermediate `K2,V2`, output `K3,V3`)
+//! and whose factory methods supply the user classes. The M3R API
+//! extensions of §4 appear as defaulted methods that the stock engine
+//! simply never consults — precisely how the Java interfaces are "ignored
+//! by Hadoop, allowing the same code to run on M3R and Hadoop".
+
+use std::sync::Arc;
+
+use crate::comparator::KeyComparator;
+use crate::conf::JobConf;
+use crate::counters::Counters;
+use crate::error::Result;
+use crate::io::{InputFormat, OutputFormat};
+use crate::partition::{HashPartitioner, Partitioner};
+use crate::task::{TaskMapper, TaskReducer};
+use crate::writable::{WritableKey, WritableValue};
+
+/// Converts map output straight to job output for map-only jobs
+/// (`num_reduce_tasks == 0`): Hadoop sends mapper output "directly to
+/// output" (§5.3). Usually the identity with `K2=K3, V2=V3`.
+pub type MapOnlyConvert<K2, V2, K3, V3> =
+    Arc<dyn Fn(Arc<K2>, Arc<V2>) -> (Arc<K3>, Arc<V3>) + Send + Sync>;
+
+/// A typed MapReduce job definition.
+pub trait JobDef: Send + Sync + 'static {
+    /// Input key type.
+    type K1: WritableKey;
+    /// Input value type.
+    type V1: WritableValue;
+    /// Intermediate (shuffle) key type.
+    type K2: WritableKey;
+    /// Intermediate (shuffle) value type.
+    type V2: WritableValue;
+    /// Output key type.
+    type K3: WritableKey;
+    /// Output value type.
+    type V3: WritableValue;
+
+    /// Instantiate the mapper for one task attempt.
+    fn create_mapper(
+        &self,
+        conf: &JobConf,
+    ) -> Box<dyn TaskMapper<Self::K1, Self::V1, Self::K2, Self::V2>>;
+
+    /// Instantiate the reducer for one task attempt.
+    fn create_reducer(
+        &self,
+        conf: &JobConf,
+    ) -> Box<dyn TaskReducer<Self::K2, Self::V2, Self::K3, Self::V3>>;
+
+    /// Instantiate the optional combiner ("mini-reducer" run map-side).
+    fn create_combiner(
+        &self,
+        _conf: &JobConf,
+    ) -> Option<Box<dyn TaskReducer<Self::K2, Self::V2, Self::K2, Self::V2>>> {
+        None
+    }
+
+    /// The partitioner routing intermediate keys to reduce partitions.
+    fn partitioner(&self, _conf: &JobConf) -> Box<dyn Partitioner<Self::K2, Self::V2>> {
+        Box::new(HashPartitioner)
+    }
+
+    /// The input format.
+    fn input_format(&self, conf: &JobConf) -> Box<dyn InputFormat<Self::K1, Self::V1>>;
+
+    /// The output format.
+    fn output_format(&self, conf: &JobConf) -> Box<dyn OutputFormat<Self::K3, Self::V3>>;
+
+    /// `ImmutableOutput` (§4.1): when true, the job promises that it never
+    /// mutates keys/values after emitting them, letting M3R alias instead
+    /// of clone. The Hadoop engine ignores this.
+    fn immutable_output(&self) -> bool {
+        false
+    }
+
+    /// The sort order of the reduce input.
+    fn sort_comparator(&self) -> KeyComparator<Self::K2> {
+        KeyComparator::natural()
+    }
+
+    /// The grouping comparator deciding which adjacent sorted keys share a
+    /// `reduce()` call. Defaults to the sort comparator.
+    fn grouping_comparator(&self) -> KeyComparator<Self::K2> {
+        self.sort_comparator()
+    }
+
+    /// For map-only jobs: how a map-output pair becomes a job-output pair.
+    /// Returning `None` (default) makes `num_reduce_tasks == 0` an error.
+    fn map_only_convert(
+        &self,
+    ) -> Option<MapOnlyConvert<Self::K2, Self::V2, Self::K3, Self::V3>> {
+        None
+    }
+
+    /// Human-readable job kind used in task ids and logs.
+    fn name(&self) -> &str {
+        "job"
+    }
+}
+
+/// What an engine reports back for one completed job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Simulated wall-clock seconds the job took on the cluster.
+    pub sim_time: f64,
+    /// Merged user + framework counters.
+    pub counters: Counters,
+    /// Work the cluster performed during this job (metrics delta).
+    pub metrics: simgrid::metrics::MetricsSnapshot,
+    /// Records written by the output stage.
+    pub output_records: u64,
+}
+
+/// A MapReduce engine: accepts a `JobDef` + `JobConf`, runs it, reports.
+///
+/// Both `hadoop-engine` and the M3R engine implement this; workloads are
+/// written once against the trait, fulfilling the paper's core claim that
+/// the *same jobs* run on either engine.
+pub trait Engine {
+    /// Engine name for reports ("hadoop", "m3r").
+    fn engine_name(&self) -> &'static str;
+
+    /// Run one job to completion.
+    fn run_job<J: JobDef>(&mut self, job: Arc<J>, conf: &JobConf) -> Result<JobResult>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{SequenceFileInputFormat, SequenceFileOutputFormat};
+    use crate::task::{IdentityMapper, IdentityReducer};
+    use crate::writable::{IntWritable, Text};
+
+    /// A minimal identity job exercising every defaulted method.
+    struct IdJob;
+
+    impl JobDef for IdJob {
+        type K1 = IntWritable;
+        type V1 = Text;
+        type K2 = IntWritable;
+        type V2 = Text;
+        type K3 = IntWritable;
+        type V3 = Text;
+
+        fn create_mapper(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn TaskMapper<IntWritable, Text, IntWritable, Text>> {
+            Box::new(IdentityMapper)
+        }
+        fn create_reducer(
+            &self,
+            _conf: &JobConf,
+        ) -> Box<dyn TaskReducer<IntWritable, Text, IntWritable, Text>> {
+            Box::new(IdentityReducer)
+        }
+        fn input_format(&self, _conf: &JobConf) -> Box<dyn InputFormat<IntWritable, Text>> {
+            Box::new(SequenceFileInputFormat::new())
+        }
+        fn output_format(&self, _conf: &JobConf) -> Box<dyn OutputFormat<IntWritable, Text>> {
+            Box::new(SequenceFileOutputFormat::new())
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let j = IdJob;
+        let conf = JobConf::new();
+        assert!(!j.immutable_output());
+        assert!(j.create_combiner(&conf).is_none());
+        assert!(j.map_only_convert().is_none());
+        assert_eq!(j.name(), "job");
+        // Default partitioner spreads keys within range.
+        let p = j.partitioner(&conf);
+        assert!(p.partition(&IntWritable(5), &Text::from("x"), 4) < 4);
+        // Sort and grouping comparators agree by default.
+        let s = j.sort_comparator();
+        let g = j.grouping_comparator();
+        assert_eq!(
+            s.compare(&IntWritable(1), &IntWritable(2)),
+            g.compare(&IntWritable(1), &IntWritable(2))
+        );
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)]
+
+//! # hmr-api — the Hadoop MapReduce API surface
+//!
+//! The paper's central distinction (§1, contribution 1) is between the
+//! Hadoop MapReduce **APIs** and the Hadoop MapReduce **engine**. This
+//! crate is the API half: everything a Hadoop job is written against —
+//! [`writable::Writable`] types, old-style [`mapred`] and new-style
+//! [`mapreduce`] mapper/reducer interfaces, [`partition::Partitioner`]s,
+//! sorting/grouping [`comparator`]s, [`io`] formats and splits,
+//! [`conf::JobConf`], [`counters`], the [`distcache`] and
+//! [`multi::DelegatingInputFormat`] — plus M3R's backward-compatible
+//! [`extensions`].
+//!
+//! Two engines implement [`job::Engine`] over this API: the baseline
+//! `hadoop-engine` crate (the paper's comparator) and the `m3r` crate (the
+//! paper's contribution). Jobs written against this crate run unchanged on
+//! both — the property every benchmark in §6 depends on.
+
+pub mod collect;
+pub mod comparator;
+pub mod conf;
+pub mod counters;
+pub mod distcache;
+pub mod error;
+pub mod extensions;
+pub mod fs;
+pub mod io;
+pub mod job;
+pub mod mapred;
+pub mod mapreduce;
+pub mod multi;
+pub mod partition;
+pub mod task;
+pub mod writable;
+
+pub use collect::{OutputCollector, VecCollector};
+pub use comparator::KeyComparator;
+pub use conf::JobConf;
+pub use counters::{Counters, Reporter, TaskContext};
+pub use distcache::DistCache;
+pub use error::{HmrError, Result};
+pub use extensions::CacheFsExt;
+pub use fs::{FileStatus, FileSystem, FsReader, FsWriter, HPath, MemFs};
+pub use io::{InputFormat, InputSplit, OutputFormat, RecordReader, RecordWriter};
+pub use job::{Engine, JobDef, JobResult};
+pub use partition::{HashPartitioner, Partitioner};
+pub use task::{
+    IdentityMapper, IdentityReducer, LongSumReducer, TaskMapper, TaskReducer,
+};
+pub use writable::{
+    BooleanWritable, ByteReader, BytesWritable, ByteWritable, DoubleArrayWritable,
+    DoubleWritable, FloatWritable, IntWritable, LongWritable, NullWritable,
+    OptionWritable, PairWritable, Text, VLongWritable, Writable, WritableKey,
+    WritableValue,
+};

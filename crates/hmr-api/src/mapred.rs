@@ -1,0 +1,168 @@
+//! The "old style" `mapred` API (paper footnote 1): `configure`/`close`
+//! lifecycle, `OutputCollector` + `Reporter` parameters, and the
+//! `MapRunnable` escape hatch for custom map loops (§4.1).
+
+use std::sync::Arc;
+
+use crate::collect::OutputCollector;
+use crate::conf::JobConf;
+use crate::counters::Reporter;
+use crate::error::Result;
+
+/// Old-API mapper. Keys and values arrive by reference because the engine
+/// owns (and may reuse) the input objects.
+pub trait Mapper<K1, V1, K2, V2>: Send {
+    /// Called once with the job configuration before any input.
+    fn configure(&mut self, _conf: &JobConf) {}
+    /// Called per input record.
+    fn map(
+        &mut self,
+        key: &K1,
+        value: &V1,
+        output: &mut dyn OutputCollector<K2, V2>,
+        reporter: &mut Reporter,
+    ) -> Result<()>;
+    /// Called once after the last record.
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Old-API reducer/combiner.
+pub trait Reducer<K2, V2, K3, V3>: Send {
+    /// Called once with the job configuration before any group.
+    fn configure(&mut self, _conf: &JobConf) {}
+    /// Called once per key group.
+    fn reduce(
+        &mut self,
+        key: &K2,
+        values: &mut dyn Iterator<Item = Arc<V2>>,
+        output: &mut dyn OutputCollector<K3, V3>,
+        reporter: &mut Reporter,
+    ) -> Result<()>;
+    /// Called once after the last group.
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A pull-based stream of input records, handed to [`MapRunnable::run`].
+pub trait KVStream<K, V> {
+    /// The next record, or `None` at end of split.
+    fn next(&mut self) -> Result<Option<(Arc<K>, Arc<V>)>>;
+}
+
+/// A [`KVStream`] over an in-memory vector (engines and tests).
+pub struct VecStream<K, V> {
+    items: std::vec::IntoIter<(Arc<K>, Arc<V>)>,
+}
+
+impl<K, V> VecStream<K, V> {
+    /// Stream over `items`.
+    pub fn new(items: Vec<(Arc<K>, Arc<V>)>) -> Self {
+        VecStream {
+            items: items.into_iter(),
+        }
+    }
+}
+
+impl<K, V> KVStream<K, V> for VecStream<K, V> {
+    fn next(&mut self) -> Result<Option<(Arc<K>, Arc<V>)>> {
+        Ok(self.items.next())
+    }
+}
+
+/// `MapRunnable` (§4.1): the old API lets the user replace the whole map
+/// loop. "Any such custom MapRunnable implementation must also be marked as
+/// producing immutable output for M3R to avoid cloning" — the marking
+/// happens on the `JobDef`, which supplies the runnable.
+pub trait MapRunnable<K1, V1, K2, V2>: Send {
+    /// Called once with the job configuration.
+    fn configure(&mut self, _conf: &JobConf) {}
+    /// Drive the whole split: read from `input`, emit to `output`.
+    fn run(
+        &mut self,
+        input: &mut dyn KVStream<K1, V1>,
+        output: &mut dyn OutputCollector<K2, V2>,
+        reporter: &mut Reporter,
+    ) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::VecCollector;
+    use crate::distcache::DistCache;
+    use crate::writable::{IntWritable, Text};
+
+    struct SplitLines;
+
+    impl Mapper<IntWritable, Text, Text, IntWritable> for SplitLines {
+        fn map(
+            &mut self,
+            _key: &IntWritable,
+            value: &Text,
+            output: &mut dyn OutputCollector<Text, IntWritable>,
+            _reporter: &mut Reporter,
+        ) -> Result<()> {
+            for w in value.as_str().split_whitespace() {
+                output.collect(Arc::new(Text::from(w)), Arc::new(IntWritable(1)))?;
+            }
+            Ok(())
+        }
+    }
+
+    struct CountRunnable;
+
+    impl MapRunnable<IntWritable, Text, Text, IntWritable> for CountRunnable {
+        fn run(
+            &mut self,
+            input: &mut dyn KVStream<IntWritable, Text>,
+            output: &mut dyn OutputCollector<Text, IntWritable>,
+            _reporter: &mut Reporter,
+        ) -> Result<()> {
+            let mut n = 0;
+            while let Some((_k, _v)) = input.next()? {
+                n += 1;
+            }
+            output.collect(Arc::new(Text::from("records")), Arc::new(IntWritable(n)))
+        }
+    }
+
+    fn reporter() -> Reporter {
+        Reporter::new(
+            "t",
+            Arc::new(JobConf::new()),
+            Arc::new(DistCache::empty()),
+        )
+    }
+
+    #[test]
+    fn old_api_mapper_emits_tokens() {
+        let mut m = SplitLines;
+        let mut out = VecCollector::new();
+        let mut rep = reporter();
+        m.map(
+            &IntWritable(0),
+            &Text::from("a b a"),
+            &mut out,
+            &mut rep,
+        )
+        .unwrap();
+        assert_eq!(out.pairs.len(), 3);
+    }
+
+    #[test]
+    fn map_runnable_controls_the_loop() {
+        let mut r = CountRunnable;
+        let mut out = VecCollector::new();
+        let mut rep = reporter();
+        let mut input = VecStream::new(
+            (0..7)
+                .map(|i| (Arc::new(IntWritable(i)), Arc::new(Text::from("x"))))
+                .collect(),
+        );
+        r.run(&mut input, &mut out, &mut rep).unwrap();
+        assert_eq!(out.pairs[0].1 .0, 7);
+    }
+}

@@ -1,0 +1,167 @@
+//! The "new style" `mapreduce` API (paper footnote 1): a single `Context`
+//! object carries output, counters, configuration, and progress.
+
+use std::sync::Arc;
+
+use crate::collect::OutputCollector;
+use crate::conf::JobConf;
+use crate::counters::TaskContext;
+use crate::error::Result;
+
+/// The new-API context: write access plus task services.
+pub struct Context<'a, K, V> {
+    out: &'a mut dyn OutputCollector<K, V>,
+    task: &'a mut TaskContext,
+}
+
+impl<'a, K, V> Context<'a, K, V> {
+    /// Wrap an output collector and task context.
+    pub fn new(out: &'a mut dyn OutputCollector<K, V>, task: &'a mut TaskContext) -> Self {
+        Context { out, task }
+    }
+
+    /// Emit one pair.
+    pub fn write(&mut self, key: Arc<K>, value: Arc<V>) -> Result<()> {
+        self.out.collect(key, value)
+    }
+
+    /// Emit one pair to a named side output (`MultipleOutputs`).
+    pub fn write_named(&mut self, name: &str, key: Arc<K>, value: Arc<V>) -> Result<()> {
+        self.out.collect_named(name, key, value)
+    }
+
+    /// The job configuration.
+    pub fn conf(&self) -> &JobConf {
+        self.task.conf()
+    }
+
+    /// Increment a user counter.
+    pub fn incr_counter(&mut self, group: &str, name: &str, amount: i64) {
+        self.task.incr_counter(group, name, amount);
+    }
+
+    /// Report progress in `[0, 1]`.
+    pub fn set_progress(&mut self, p: f32) {
+        self.task.set_progress(p);
+    }
+
+    /// Report a status string.
+    pub fn set_status(&mut self, s: impl Into<String>) {
+        self.task.set_status(s);
+    }
+
+    /// A distributed-cache file's contents.
+    pub fn cache_file(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        self.task.cache_file(path)
+    }
+
+    /// `MultipleInputs`: the tag of the split currently being mapped.
+    pub fn split_tag(&self) -> Option<usize> {
+        self.task.split_tag()
+    }
+
+    /// The underlying task context (escape hatch for framework code).
+    pub fn task(&mut self) -> &mut TaskContext {
+        self.task
+    }
+}
+
+/// New-API mapper: keys and values arrive as shared `Arc`s.
+pub trait Mapper<K1, V1, K2, V2>: Send {
+    /// Called once before the first record.
+    fn setup(&mut self, _ctx: &mut Context<'_, K2, V2>) -> Result<()> {
+        Ok(())
+    }
+    /// Called per input record.
+    fn map(
+        &mut self,
+        key: Arc<K1>,
+        value: Arc<V1>,
+        ctx: &mut Context<'_, K2, V2>,
+    ) -> Result<()>;
+    /// Called once after the last record.
+    fn cleanup(&mut self, _ctx: &mut Context<'_, K2, V2>) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// New-API reducer/combiner.
+pub trait Reducer<K2, V2, K3, V3>: Send {
+    /// Called once before the first group.
+    fn setup(&mut self, _ctx: &mut Context<'_, K3, V3>) -> Result<()> {
+        Ok(())
+    }
+    /// Called once per key group.
+    fn reduce(
+        &mut self,
+        key: Arc<K2>,
+        values: &mut dyn Iterator<Item = Arc<V2>>,
+        ctx: &mut Context<'_, K3, V3>,
+    ) -> Result<()>;
+    /// Called once after the last group.
+    fn cleanup(&mut self, _ctx: &mut Context<'_, K3, V3>) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::VecCollector;
+    use crate::distcache::DistCache;
+    use crate::writable::{LongWritable, Text};
+
+    struct TokenMapper;
+
+    impl Mapper<LongWritable, Text, Text, LongWritable> for TokenMapper {
+        fn map(
+            &mut self,
+            _key: Arc<LongWritable>,
+            value: Arc<Text>,
+            ctx: &mut Context<'_, Text, LongWritable>,
+        ) -> Result<()> {
+            for tok in value.as_str().split_whitespace() {
+                ctx.write(Arc::new(Text::from(tok)), Arc::new(LongWritable(1)))?;
+                ctx.incr_counter("app", "tokens", 1);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn context_write_and_counters() {
+        let mut task = TaskContext::new(
+            "m_0",
+            Arc::new(JobConf::new()),
+            Arc::new(DistCache::empty()),
+        );
+        let mut out = VecCollector::new();
+        let mut m = TokenMapper;
+        {
+            let mut ctx = Context::new(&mut out, &mut task);
+            m.map(
+                Arc::new(LongWritable(0)),
+                Arc::new(Text::from("to be or not to be")),
+                &mut ctx,
+            )
+            .unwrap();
+        }
+        assert_eq!(out.pairs.len(), 6);
+        assert_eq!(task.counters().get("app", "tokens"), 6);
+    }
+
+    #[test]
+    fn context_exposes_conf_and_progress() {
+        let mut conf = JobConf::new();
+        conf.set("app.flag", "yes");
+        let mut task =
+            TaskContext::new("m_0", Arc::new(conf), Arc::new(DistCache::empty()));
+        let mut out: VecCollector<Text, LongWritable> = VecCollector::new();
+        let mut ctx = Context::new(&mut out, &mut task);
+        assert_eq!(ctx.conf().get("app.flag"), Some("yes"));
+        ctx.set_progress(0.5);
+        ctx.set_status("halfway");
+        assert_eq!(task.progress(), 0.5);
+        assert_eq!(task.status(), "halfway");
+    }
+}

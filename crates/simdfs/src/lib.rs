@@ -1,0 +1,599 @@
+#![warn(missing_docs)]
+
+//! # simdfs — a simulated HDFS
+//!
+//! Implements `hmr_api::fs::FileSystem` as a distributed filesystem over a
+//! [`simgrid::Cluster`]: central namenode metadata, per-file block lists,
+//! replica placement across datanodes, and I/O that charges simulated time
+//! to the node the calling task runs on (via `simgrid::meter`).
+//!
+//! The cost behaviour mirrors §3.1 of the M3R paper:
+//! * reading "requires network communication with the namenode" — every
+//!   metadata operation charges a small round-trip;
+//! * "reading the actual data requires file system I/O ... and may require
+//!   network I/O (if the mapper is not on the same machine as the one
+//!   hosting the data)" — block reads charge disk time, plus network time
+//!   when no replica is local to the metered node;
+//! * writes go "to the local datanode (generally co-located with the
+//!   compute node), and optionally replicated to a configurable number of
+//!   other datanodes" — the first replica lands on the writer's node.
+
+pub mod placement;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hmr_api::error::{HmrError, Result};
+use hmr_api::fs::{FileStatus, FileSystem, FsReader, FsWriter, HPath};
+use simgrid::cost::Charge;
+use simgrid::meter;
+
+pub use placement::PlacementPolicy;
+
+/// One replicated block of a file.
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    /// Unique block id.
+    pub id: u64,
+    /// Block length in bytes.
+    pub len: u64,
+    /// Nodes holding a replica.
+    pub replicas: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum DfsNode {
+    File { blocks: Vec<BlockInfo>, len: u64 },
+    Dir,
+}
+
+struct Inner {
+    /// Namenode: all metadata, hierarchically keyed.
+    meta: RwLock<BTreeMap<HPath, DfsNode>>,
+    /// Datanodes: block id → bytes (replicas share one buffer; placement is
+    /// metadata — the simulation charges as if each replica were distinct).
+    blocks: RwLock<std::collections::HashMap<u64, Arc<Vec<u8>>>>,
+    next_block: AtomicU64,
+    cluster: simgrid::Cluster,
+    block_size: u64,
+    replication: usize,
+    policy: PlacementPolicy,
+}
+
+/// The simulated distributed filesystem handle (shallow-clone shareable).
+#[derive(Clone)]
+pub struct SimDfs {
+    inner: Arc<Inner>,
+}
+
+impl SimDfs {
+    /// A DFS over `cluster` with HDFS-ish defaults: 64 MB blocks,
+    /// 3-way replication (capped at the cluster size).
+    pub fn new(cluster: simgrid::Cluster) -> Self {
+        SimDfs::with_config(cluster, 64 << 20, 3)
+    }
+
+    /// A DFS with explicit block size and replication factor.
+    pub fn with_config(cluster: simgrid::Cluster, block_size: u64, replication: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let replication = replication.clamp(1, cluster.len());
+        let inner = Inner {
+            meta: RwLock::new(BTreeMap::new()),
+            blocks: RwLock::new(std::collections::HashMap::new()),
+            next_block: AtomicU64::new(1),
+            policy: PlacementPolicy::new(cluster.len()),
+            cluster,
+            block_size,
+            replication,
+        };
+        inner.meta.write().insert(HPath::root(), DfsNode::Dir);
+        SimDfs {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The backing cluster.
+    pub fn cluster(&self) -> &simgrid::Cluster {
+        &self.inner.cluster
+    }
+
+    /// Configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.inner.replication
+    }
+
+    /// Configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.inner.block_size
+    }
+
+    /// A namenode round trip: metadata lives on one central node.
+    fn charge_namenode(&self) {
+        meter::charge(Charge::NetTransfer { bytes: 256 });
+    }
+
+    /// Blocks of `path` overlapping `[offset, offset+len)` with their
+    /// in-file start offsets.
+    fn blocks_in_range(&self, path: &HPath, offset: u64, len: u64) -> Result<Vec<(u64, BlockInfo)>> {
+        let meta = self.inner.meta.read();
+        match meta.get(path) {
+            Some(DfsNode::File { blocks, .. }) => {
+                let mut out = Vec::new();
+                let mut start = 0u64;
+                let end = offset.saturating_add(len);
+                for b in blocks {
+                    let b_end = start + b.len;
+                    if b_end > offset && start < end {
+                        out.push((start, b.clone()));
+                    }
+                    start = b_end;
+                }
+                Ok(out)
+            }
+            Some(DfsNode::Dir) => Err(HmrError::Io(format!("{path} is a directory"))),
+            None => Err(HmrError::NotFound(path.to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct DfsWriter {
+    dfs: SimDfs,
+    target: HPath,
+    buf: Vec<u8>,
+}
+
+impl FsWriter for DfsWriter {
+    fn write_all(&mut self, bytes: &[u8]) -> Result<()> {
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn close(self: Box<Self>) -> Result<u64> {
+        let inner = &*self.dfs.inner;
+        let total = self.buf.len() as u64;
+        // Prefer the writer's own node for the first replica (HDFS
+        // write-local affinity); fall back to a path-hash.
+        let local = meter::current_meter().map(|m| m.node().id()).unwrap_or_else(|| {
+            // Unmetered writers (data generators) spread primaries by a
+            // stable hash of the path.
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.target.as_str().hash(&mut h);
+            (h.finish() % inner.cluster.len() as u64) as usize
+        });
+
+        let mut blocks = Vec::new();
+        let mut data = self.buf;
+        let mut chunks: Vec<Vec<u8>> = Vec::new();
+        if !data.is_empty() {
+            while data.len() as u64 > inner.block_size {
+                let rest = data.split_off(inner.block_size as usize);
+                chunks.push(std::mem::replace(&mut data, rest));
+            }
+            chunks.push(data);
+        }
+        for chunk in chunks {
+            let id = inner.next_block.fetch_add(1, Ordering::Relaxed);
+            let replicas = inner.policy.place(local, id, inner.replication);
+            let len = chunk.len() as u64;
+            // Local disk write for the first replica; the replication
+            // pipeline moves the block over the network once per extra
+            // replica and writes it to that node's disk. All latencies are
+            // charged to the writing task (it blocks on the ack chain).
+            meter::charge(Charge::DiskWrite { bytes: len });
+            for _ in 1..replicas.len() {
+                meter::charge(Charge::NetTransfer { bytes: len });
+                meter::charge(Charge::DiskWrite { bytes: len });
+            }
+            inner.blocks.write().insert(id, Arc::new(chunk));
+            blocks.push(BlockInfo { id, len, replicas });
+        }
+
+        self.dfs.charge_namenode();
+        let mut meta = inner.meta.write();
+        if meta.contains_key(&self.target) {
+            return Err(HmrError::AlreadyExists(self.target.to_string()));
+        }
+        if let Some(parent) = self.target.parent() {
+            for anc in parent.ancestors_inclusive() {
+                match meta.get(&anc) {
+                    Some(DfsNode::File { .. }) => {
+                        return Err(HmrError::Io(format!("{anc} is a file")));
+                    }
+                    Some(DfsNode::Dir) => {}
+                    None => {
+                        meta.insert(anc, DfsNode::Dir);
+                    }
+                }
+            }
+        }
+        meta.insert(self.target, DfsNode::File { blocks, len: total });
+        Ok(total)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct DfsReader {
+    dfs: SimDfs,
+    path: HPath,
+    len: u64,
+}
+
+impl FsReader for DfsReader {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_range(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let local = meter::current_meter().map(|m| m.node().id());
+        let mut out = Vec::new();
+        let end = offset.saturating_add(len).min(self.len);
+        if offset >= end {
+            return Ok(out);
+        }
+        for (block_start, info) in self.dfs.blocks_in_range(&self.path, offset, end - offset)? {
+            let bytes = {
+                let blocks = self.dfs.inner.blocks.read();
+                Arc::clone(blocks.get(&info.id).ok_or_else(|| {
+                    HmrError::Io(format!("block {} of {} lost", info.id, self.path))
+                })?)
+            };
+            let from = offset.saturating_sub(block_start).min(info.len) as usize;
+            let to = (end - block_start).min(info.len) as usize;
+            let slice = &bytes[from..to];
+            // Disk read at the replica host; network hop when no replica is
+            // local to the reading task's node.
+            meter::charge(Charge::DiskRead {
+                bytes: slice.len() as u64,
+            });
+            let is_local = local.map(|n| info.replicas.contains(&n)).unwrap_or(true);
+            if !is_local {
+                meter::charge(Charge::NetTransfer {
+                    bytes: slice.len() as u64,
+                });
+            }
+            out.extend_from_slice(slice);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileSystem
+// ---------------------------------------------------------------------------
+
+impl FileSystem for SimDfs {
+    fn create(&self, path: &HPath) -> Result<Box<dyn FsWriter>> {
+        self.charge_namenode();
+        if self.inner.meta.read().contains_key(path) {
+            return Err(HmrError::AlreadyExists(path.to_string()));
+        }
+        Ok(Box::new(DfsWriter {
+            dfs: self.clone(),
+            target: path.clone(),
+            buf: Vec::new(),
+        }))
+    }
+
+    fn open(&self, path: &HPath) -> Result<Box<dyn FsReader>> {
+        self.charge_namenode();
+        let meta = self.inner.meta.read();
+        match meta.get(path) {
+            Some(DfsNode::File { len, .. }) => Ok(Box::new(DfsReader {
+                dfs: self.clone(),
+                path: path.clone(),
+                len: *len,
+            })),
+            Some(DfsNode::Dir) => Err(HmrError::Io(format!("{path} is a directory"))),
+            None => Err(HmrError::NotFound(path.to_string())),
+        }
+    }
+
+    fn delete(&self, path: &HPath, recursive: bool) -> Result<bool> {
+        self.charge_namenode();
+        let mut meta = self.inner.meta.write();
+        match meta.get(path) {
+            None => Ok(false),
+            Some(DfsNode::File { .. }) => {
+                if let Some(DfsNode::File { blocks, .. }) = meta.remove(path) {
+                    let mut store = self.inner.blocks.write();
+                    for b in blocks {
+                        store.remove(&b.id);
+                    }
+                }
+                Ok(true)
+            }
+            Some(DfsNode::Dir) => {
+                let subtree: Vec<HPath> = meta
+                    .range(path.clone()..)
+                    .take_while(|(p, _)| p.starts_with(path))
+                    .map(|(p, _)| p.clone())
+                    .collect();
+                if subtree.len() > 1 && !recursive {
+                    return Err(HmrError::Io(format!("{path} is a non-empty directory")));
+                }
+                let mut store = self.inner.blocks.write();
+                for p in subtree {
+                    if let Some(DfsNode::File { blocks, .. }) = meta.remove(&p) {
+                        for b in blocks {
+                            store.remove(&b.id);
+                        }
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    fn rename(&self, src: &HPath, dst: &HPath) -> Result<()> {
+        self.charge_namenode();
+        let mut meta = self.inner.meta.write();
+        if !meta.contains_key(src) {
+            return Err(HmrError::NotFound(src.to_string()));
+        }
+        if meta.contains_key(dst) {
+            return Err(HmrError::AlreadyExists(dst.to_string()));
+        }
+        let moved: Vec<(HPath, HPath)> = meta
+            .range(src.clone()..)
+            .take_while(|(p, _)| p.starts_with(src))
+            .map(|(p, _)| {
+                let suffix = &p.as_str()[src.as_str().len()..];
+                (p.clone(), HPath::new(format!("{}{}", dst.as_str(), suffix)))
+            })
+            .collect();
+        for (from, to) in moved {
+            let node = meta.remove(&from).expect("listed above");
+            meta.insert(to, node);
+        }
+        if let Some(parent) = dst.parent() {
+            for anc in parent.ancestors_inclusive() {
+                meta.entry(anc).or_insert(DfsNode::Dir);
+            }
+        }
+        Ok(())
+    }
+
+    fn mkdirs(&self, path: &HPath) -> Result<()> {
+        self.charge_namenode();
+        let mut meta = self.inner.meta.write();
+        for anc in path.ancestors_inclusive() {
+            match meta.get(&anc) {
+                Some(DfsNode::File { .. }) => {
+                    return Err(HmrError::Io(format!("{anc} is a file")));
+                }
+                Some(DfsNode::Dir) => {}
+                None => {
+                    meta.insert(anc, DfsNode::Dir);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn get_file_status(&self, path: &HPath) -> Result<FileStatus> {
+        self.charge_namenode();
+        let meta = self.inner.meta.read();
+        match meta.get(path) {
+            Some(DfsNode::File { len, .. }) => Ok(FileStatus {
+                path: path.clone(),
+                is_dir: false,
+                len: *len,
+                block_size: self.inner.block_size,
+            }),
+            Some(DfsNode::Dir) => Ok(FileStatus {
+                path: path.clone(),
+                is_dir: true,
+                len: 0,
+                block_size: self.inner.block_size,
+            }),
+            None => Err(HmrError::NotFound(path.to_string())),
+        }
+    }
+
+    fn list_status(&self, path: &HPath) -> Result<Vec<FileStatus>> {
+        let status = self.get_file_status(path)?;
+        if !status.is_dir {
+            return Ok(vec![status]);
+        }
+        let meta = self.inner.meta.read();
+        let mut out = Vec::new();
+        for (p, node) in meta
+            .range(path.clone()..)
+            .take_while(|(p, _)| p.starts_with(path))
+        {
+            if p != path && p.parent().as_ref() == Some(path) {
+                out.push(match node {
+                    DfsNode::File { len, .. } => FileStatus {
+                        path: p.clone(),
+                        is_dir: false,
+                        len: *len,
+                        block_size: self.inner.block_size,
+                    },
+                    DfsNode::Dir => FileStatus {
+                        path: p.clone(),
+                        is_dir: true,
+                        len: 0,
+                        block_size: self.inner.block_size,
+                    },
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    fn block_locations(&self, path: &HPath, offset: u64, len: u64) -> Result<Vec<Vec<usize>>> {
+        self.charge_namenode();
+        Ok(self
+            .blocks_in_range(path, offset, len)?
+            .into_iter()
+            .map(|(_, b)| b.replicas)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmr_api::fs::{read_file, write_file};
+    use simgrid::{Cluster, CostModel, Meter};
+
+    fn dfs(nodes: usize) -> SimDfs {
+        SimDfs::with_config(Cluster::new(nodes, CostModel::default()), 1024, 2)
+    }
+
+    #[test]
+    fn roundtrip_small_file() {
+        let fs = dfs(4);
+        write_file(&fs, &HPath::new("/a/b"), b"contents").unwrap();
+        assert_eq!(read_file(&fs, &HPath::new("/a/b")).unwrap(), b"contents");
+        let st = fs.get_file_status(&HPath::new("/a/b")).unwrap();
+        assert_eq!(st.len, 8);
+        assert!(!st.is_dir);
+    }
+
+    #[test]
+    fn large_file_splits_into_blocks_with_replicas() {
+        let fs = dfs(4);
+        let data: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        write_file(&fs, &HPath::new("/big"), &data).unwrap();
+        let locs = fs.block_locations(&HPath::new("/big"), 0, 3000).unwrap();
+        assert_eq!(locs.len(), 3, "3000 bytes / 1024-byte blocks = 3 blocks");
+        for replicas in &locs {
+            assert_eq!(replicas.len(), 2, "replication factor 2");
+            let mut sorted = replicas.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 2, "replicas on distinct nodes");
+        }
+        assert_eq!(read_file(&fs, &HPath::new("/big")).unwrap(), data);
+    }
+
+    #[test]
+    fn read_range_spans_block_boundaries() {
+        let fs = dfs(3);
+        let data: Vec<u8> = (0..2500u32).map(|i| (i % 256) as u8).collect();
+        write_file(&fs, &HPath::new("/f"), &data).unwrap();
+        let mut r = fs.open(&HPath::new("/f")).unwrap();
+        assert_eq!(r.read_range(1000, 200).unwrap(), &data[1000..1200]);
+        assert_eq!(r.read_range(0, 2500).unwrap(), data);
+        assert_eq!(r.read_range(2400, 500).unwrap(), &data[2400..2500]);
+    }
+
+    #[test]
+    fn writes_charge_disk_and_replication_network() {
+        let cluster = Cluster::new(4, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 3);
+        let before = cluster.metrics().snapshot();
+        simgrid::with_meter(Meter::new(cluster.node(1).clone()), || {
+            write_file(&fs, &HPath::new("/f"), &vec![0u8; 1000]).unwrap();
+        });
+        let d = cluster.metrics().snapshot().since(&before);
+        assert_eq!(d.disk_bytes_written, 3000, "3 replicas hit disk");
+        assert!(d.net_bytes >= 2000, "2 replication transfers");
+        assert!(cluster.node(1).clock().now() > 0.0);
+    }
+
+    #[test]
+    fn local_read_charges_no_network() {
+        let cluster = Cluster::new(4, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+        // Write from node 0 → first replica on node 0.
+        simgrid::with_meter(Meter::new(cluster.node(0).clone()), || {
+            write_file(&fs, &HPath::new("/f"), &vec![7u8; 4096]).unwrap();
+        });
+        let before = cluster.metrics().snapshot();
+        simgrid::with_meter(Meter::new(cluster.node(0).clone()), || {
+            read_file(&fs, &HPath::new("/f")).unwrap();
+        });
+        let d = cluster.metrics().snapshot().since(&before);
+        assert_eq!(d.disk_bytes_read, 4096);
+        // Only the namenode chatter crosses the network, not the data.
+        assert!(d.net_bytes < 4096, "data read stayed local: {}", d.net_bytes);
+    }
+
+    #[test]
+    fn remote_read_charges_network() {
+        let cluster = Cluster::new(8, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 1);
+        simgrid::with_meter(Meter::new(cluster.node(0).clone()), || {
+            write_file(&fs, &HPath::new("/f"), &vec![7u8; 4096]).unwrap();
+        });
+        let locs = fs.block_locations(&HPath::new("/f"), 0, 4096).unwrap();
+        let holder = locs[0][0];
+        let reader_node = (holder + 1) % 8;
+        let before = cluster.metrics().snapshot();
+        simgrid::with_meter(Meter::new(cluster.node(reader_node).clone()), || {
+            read_file(&fs, &HPath::new("/f")).unwrap();
+        });
+        let d = cluster.metrics().snapshot().since(&before);
+        assert!(d.net_bytes >= 4096, "remote read crossed the network");
+    }
+
+    #[test]
+    fn delete_frees_blocks() {
+        let fs = dfs(2);
+        write_file(&fs, &HPath::new("/d/f"), &vec![0u8; 5000]).unwrap();
+        assert!(fs.delete(&HPath::new("/d"), true).unwrap());
+        assert!(fs.inner.blocks.read().is_empty(), "blocks reclaimed");
+        assert!(!fs.exists(&HPath::new("/d/f")));
+    }
+
+    #[test]
+    fn rename_preserves_data() {
+        let fs = dfs(2);
+        write_file(&fs, &HPath::new("/out/temp_1/part-00000"), b"xyz").unwrap();
+        fs.rename(&HPath::new("/out/temp_1"), &HPath::new("/out/final"))
+            .unwrap();
+        assert_eq!(
+            read_file(&fs, &HPath::new("/out/final/part-00000")).unwrap(),
+            b"xyz"
+        );
+    }
+
+    #[test]
+    fn empty_file_has_no_blocks() {
+        let fs = dfs(2);
+        write_file(&fs, &HPath::new("/empty"), b"").unwrap();
+        assert_eq!(fs.get_file_status(&HPath::new("/empty")).unwrap().len, 0);
+        assert!(fs
+            .block_locations(&HPath::new("/empty"), 0, 10)
+            .unwrap()
+            .is_empty());
+        assert_eq!(read_file(&fs, &HPath::new("/empty")).unwrap(), b"");
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let fs = SimDfs::with_config(Cluster::free(2), 1024, 5);
+        assert_eq!(fs.replication(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_files() {
+        let fs = dfs(4);
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    write_file(
+                        &fs,
+                        &HPath::new(format!("/c/f{i}")),
+                        format!("data{i}").as_bytes(),
+                    )
+                    .unwrap();
+                });
+            }
+        });
+        assert_eq!(fs.list_status(&HPath::new("/c")).unwrap().len(), 8);
+    }
+}

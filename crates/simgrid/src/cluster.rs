@@ -1,0 +1,244 @@
+//! The simulated cluster: a fixed set of nodes sharing one cost model and
+//! one metrics sink.
+
+use std::sync::Arc;
+
+use crate::clock::{barrier, Clock};
+use crate::cost::{Charge, CostModel};
+use crate::metrics::Metrics;
+
+/// Identifies a node (0-based). The paper's testbed has 20 of these.
+pub type NodeId = usize;
+
+/// One simulated machine: an id, a virtual clock, and shared pricing.
+#[derive(Clone)]
+pub struct Node {
+    id: NodeId,
+    clock: Clock,
+    model: Arc<CostModel>,
+    metrics: Metrics,
+}
+
+impl Node {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The cluster-wide cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The cluster-wide metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Price `charge`, advance this node's clock by it, and record it in the
+    /// metrics. Returns the simulated duration charged.
+    pub fn charge(&self, charge: Charge) -> f64 {
+        let dt = self.model.price(charge);
+        self.metrics.record(charge);
+        self.clock.advance(dt);
+        dt
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+/// A fixed-size cluster of [`Node`]s.
+///
+/// `Clone` is shallow: clones refer to the same nodes, clocks and metrics,
+/// so an engine and a filesystem can share one cluster handle.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    nodes: Arc<Vec<Node>>,
+    model: Arc<CostModel>,
+    metrics: Metrics,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` nodes (n ≥ 1) priced by `model`.
+    pub fn new(n: usize, model: CostModel) -> Self {
+        assert!(n >= 1, "a cluster needs at least one node");
+        let model = Arc::new(model);
+        let metrics = Metrics::new();
+        let nodes = (0..n)
+            .map(|id| Node {
+                id,
+                clock: Clock::new(),
+                model: Arc::clone(&model),
+                metrics: metrics.clone(),
+            })
+            .collect();
+        Cluster {
+            nodes: Arc::new(nodes),
+            model,
+            metrics,
+        }
+    }
+
+    /// A cluster whose every operation is free (functional tests).
+    pub fn free(n: usize) -> Self {
+        Cluster::new(n, CostModel::free())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has exactly zero nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node `id`. Panics when out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The cluster-wide metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Latest clock across the cluster — "the job is done when the slowest
+    /// node is done".
+    pub fn max_time(&self) -> f64 {
+        self.nodes.iter().map(|n| n.clock.now()).fold(0.0, f64::max)
+    }
+
+    /// Synchronize every node's clock to the maximum and charge each the
+    /// barrier cost. Returns the post-barrier time.
+    pub fn barrier(&self) -> f64 {
+        let clocks: Vec<Clock> = self.nodes.iter().map(|n| n.clock.clone()).collect();
+        self.metrics.record(Charge::Barrier);
+        barrier(&clocks, self.model.barrier)
+    }
+
+    /// Reset all clocks to zero and clear metrics. Used between experiments.
+    pub fn reset(&self) {
+        for n in self.nodes.iter() {
+            n.clock.reset();
+        }
+        self.metrics.reset();
+    }
+
+    /// A detached node sharing this cluster's cost model and metrics but
+    /// owning a fresh zeroed clock. Engines run one simulated task against a
+    /// scratch node to measure the task's duration, then fold that duration
+    /// into real node clocks according to their scheduling model (e.g.
+    /// "tasks in one wave run in parallel, so a node advances by the max of
+    /// its tasks' durations").
+    pub fn scratch_node(&self, id: NodeId) -> Node {
+        Node {
+            id,
+            clock: Clock::new(),
+            model: Arc::clone(&self.model),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Simulate a network transfer of `bytes` from `src` to `dst`:
+    /// the receiver cannot finish before the sender reached its send point,
+    /// and pays latency + bandwidth. Local "transfers" (src == dst) are free
+    /// — in-memory hand-off, the dotted lines of the paper's Figure 3.
+    pub fn transfer(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        if src == dst {
+            return;
+        }
+        let sender_now = self.nodes[src].clock.now();
+        let receiver = &self.nodes[dst];
+        receiver.clock.advance_to(sender_now);
+        receiver.charge(Charge::NetTransfer { bytes });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_have_distinct_clocks() {
+        let c = Cluster::new(3, CostModel::default());
+        c.node(0).charge(Charge::TaskStartup);
+        assert!(c.node(0).clock().now() > 0.0);
+        assert_eq!(c.node(1).clock().now(), 0.0);
+        assert_eq!(c.max_time(), c.node(0).clock().now());
+    }
+
+    #[test]
+    fn charge_records_metrics() {
+        let c = Cluster::new(2, CostModel::default());
+        c.node(1).charge(Charge::DiskWrite { bytes: 1000 });
+        assert_eq!(c.metrics().disk_bytes_written(), 1000);
+    }
+
+    #[test]
+    fn local_transfer_is_free() {
+        let c = Cluster::new(2, CostModel::default());
+        c.transfer(0, 0, 1 << 30);
+        assert_eq!(c.max_time(), 0.0);
+        assert_eq!(c.metrics().net_bytes(), 0);
+    }
+
+    #[test]
+    fn remote_transfer_charges_receiver_after_sender() {
+        let c = Cluster::new(2, CostModel::default());
+        c.node(0).clock().advance(5.0);
+        c.transfer(0, 1, 110_000_000); // exactly 1 second at default net_bw
+        let t1 = c.node(1).clock().now();
+        assert!(t1 > 6.0 - 1e-6, "receiver waited for sender then paid transfer: {t1}");
+        assert_eq!(c.metrics().net_bytes(), 110_000_000);
+    }
+
+    #[test]
+    fn barrier_aligns_all_clocks() {
+        let c = Cluster::new(4, CostModel::free());
+        c.node(2).clock().advance(10.0);
+        let t = c.barrier();
+        assert_eq!(t, 10.0);
+        for n in c.nodes() {
+            assert_eq!(n.clock().now(), 10.0);
+        }
+    }
+
+    #[test]
+    fn reset_clears_clocks_and_metrics() {
+        let c = Cluster::new(2, CostModel::default());
+        c.node(0).charge(Charge::Heartbeat);
+        c.reset();
+        assert_eq!(c.max_time(), 0.0);
+        assert_eq!(c.metrics().heartbeats(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_rejected() {
+        let _ = Cluster::new(0, CostModel::default());
+    }
+}

@@ -1,0 +1,385 @@
+//! SystemML's blocked-matrix representation.
+//!
+//! "The matrices had a sparsity factor of 0.001 and were distributed with a
+//! blocking factor of 1000." Sparse blocks are stored as *coordinate
+//! triplets with full 64-bit indices plus per-entry object overhead* —
+//! deliberately fat, standing in for the paper's observation that "the
+//! in-memory representation for sparse matrix blocks in the System ML
+//! runtime is about 10x less space-efficient" than the hand-optimized CSC
+//! blocks of §6.2. Here the inefficiency is ~3x on the wire and in the
+//! cache, which is what the simulation prices; the qualitative effect (a
+//! SystemML job moves and caches far more bytes per non-zero) is preserved.
+
+use hmr_api::error::{HmrError, Result};
+use hmr_api::writable::{write_vi64, write_vu64, ByteReader, Writable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dense::DenseMatrix;
+
+/// A block coordinate (SystemML's `MatrixIndexes`), 0-based here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MatrixIndexes(pub i64, pub i64);
+
+impl Writable for MatrixIndexes {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        write_vi64(out, self.0);
+        write_vi64(out, self.1);
+    }
+    fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(MatrixIndexes(input.read_vi64()?, input.read_vi64()?))
+    }
+}
+
+/// Per-entry serialized overhead of the SystemML coordinate format: two
+/// 8-byte indices, an 8-byte value, and 8 bytes of object header — 32 bytes
+/// per non-zero vs ~12.7 for the §6.2 CSC blocks.
+pub const COO_ENTRY_BYTES: usize = 32;
+
+/// A sparse block in coordinate form.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CooBlock {
+    /// Rows in the block.
+    pub rows: u32,
+    /// Columns in the block.
+    pub cols: u32,
+    /// `(row, col, value)` triplets, unsorted.
+    pub entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooBlock {
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `y = B × x` where `x` is a dense matrix sliced to this block's
+    /// columns; result is `rows × x.cols`.
+    pub fn multiply_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        debug_assert_eq!(x.rows, self.cols as usize);
+        let mut y = DenseMatrix::zeros(self.rows as usize, x.cols);
+        for &(r, c, v) in &self.entries {
+            for j in 0..x.cols {
+                y.data[r as usize * x.cols + j] += v * x.get(c as usize, j);
+            }
+        }
+        y
+    }
+
+    /// `y = Bᵀ × x` where `x` has `rows` rows; result is `cols × x.cols`.
+    pub fn multiply_transpose_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        debug_assert_eq!(x.rows, self.rows as usize);
+        let mut y = DenseMatrix::zeros(self.cols as usize, x.cols);
+        for &(r, c, v) in &self.entries {
+            for j in 0..x.cols {
+                y.data[c as usize * x.cols + j] += v * x.get(r as usize, j);
+            }
+        }
+        y
+    }
+}
+
+impl Writable for CooBlock {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&self.cols.to_le_bytes());
+        write_vu64(out, self.entries.len() as u64);
+        for &(r, c, v) in &self.entries {
+            // Fat on purpose: full i64 indices + simulated object header.
+            out.extend_from_slice(&(r as i64).to_le_bytes());
+            out.extend_from_slice(&(c as i64).to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&[0u8; 8]);
+        }
+    }
+    fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
+        let rows = input.read_u32()?;
+        let cols = input.read_u32()?;
+        let nnz = input.read_vu64()? as usize;
+        let mut entries = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let r = i64::from_le_bytes(input.read_bytes(8)?.try_into().unwrap());
+            let c = i64::from_le_bytes(input.read_bytes(8)?.try_into().unwrap());
+            let v = f64::from_le_bytes(input.read_bytes(8)?.try_into().unwrap());
+            input.read_bytes(8)?; // object-header padding
+            entries.push((r as u32, c as u32, v));
+        }
+        Ok(CooBlock {
+            rows,
+            cols,
+            entries,
+        })
+    }
+    fn serialized_size(&self) -> usize {
+        let mut scratch = Vec::new();
+        write_vu64(&mut scratch, self.entries.len() as u64);
+        8 + scratch.len() + COO_ENTRY_BYTES * self.entries.len()
+    }
+}
+
+/// A SystemML matrix block: sparse coordinates or dense values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MLBlock {
+    /// Sparse block.
+    Sparse(CooBlock),
+    /// Dense block (row-major).
+    Dense {
+        /// Rows in the block.
+        rows: u32,
+        /// Columns in the block.
+        cols: u32,
+        /// Row-major values.
+        vals: Vec<f64>,
+    },
+}
+
+impl MLBlock {
+    /// View a dense block as a [`DenseMatrix`].
+    pub fn to_dense(&self) -> DenseMatrix {
+        match self {
+            MLBlock::Dense { rows, cols, vals } => DenseMatrix {
+                rows: *rows as usize,
+                cols: *cols as usize,
+                data: vals.clone(),
+            },
+            MLBlock::Sparse(b) => {
+                let mut m = DenseMatrix::zeros(b.rows as usize, b.cols as usize);
+                for &(r, c, v) in &b.entries {
+                    m.data[r as usize * b.cols as usize + c as usize] += v;
+                }
+                m
+            }
+        }
+    }
+
+    /// Wrap a [`DenseMatrix`].
+    pub fn from_dense(m: &DenseMatrix) -> MLBlock {
+        MLBlock::Dense {
+            rows: m.rows as u32,
+            cols: m.cols as u32,
+            vals: m.data.clone(),
+        }
+    }
+}
+
+impl Writable for MLBlock {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        match self {
+            MLBlock::Sparse(b) => {
+                out.push(0);
+                b.write_to(out);
+            }
+            MLBlock::Dense { rows, cols, vals } => {
+                out.push(1);
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&cols.to_le_bytes());
+                for v in vals {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+    fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
+        match input.read_u8()? {
+            0 => Ok(MLBlock::Sparse(CooBlock::read_from(input)?)),
+            1 => {
+                let rows = input.read_u32()?;
+                let cols = input.read_u32()?;
+                let n = rows as usize * cols as usize;
+                let mut vals = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vals.push(f64::from_le_bytes(input.read_bytes(8)?.try_into().unwrap()));
+                }
+                Ok(MLBlock::Dense { rows, cols, vals })
+            }
+            t => Err(HmrError::Serde(format!("bad MLBlock tag {t}"))),
+        }
+    }
+    fn serialized_size(&self) -> usize {
+        1 + match self {
+            MLBlock::Sparse(b) => b.serialized_size(),
+            MLBlock::Dense { vals, .. } => 8 + 8 * vals.len(),
+        }
+    }
+}
+
+/// Generate a blocked sparse matrix (`n_rows × n_cols`, density `sparsity`)
+/// under `dir`, grouped into `num_partitions` part files by row block.
+/// Deterministic in `seed`.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_blocked_sparse(
+    fs: &dyn hmr_api::FileSystem,
+    dir: &hmr_api::HPath,
+    n_rows: usize,
+    n_cols: usize,
+    block: usize,
+    sparsity: f64,
+    num_partitions: usize,
+    seed: u64,
+) -> Result<()> {
+    let row_blocks = n_rows.div_ceil(block);
+    let col_blocks = n_cols.div_ceil(block);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for p in 0..num_partitions {
+        let mut records: Vec<(MatrixIndexes, MLBlock)> = Vec::new();
+        for i in (p..row_blocks).step_by(num_partitions) {
+            let rows = (n_rows - i * block).min(block) as u32;
+            for j in 0..col_blocks {
+                let cols = (n_cols - j * block).min(block) as u32;
+                let expect = (rows as f64 * cols as f64 * sparsity).ceil() as usize;
+                let mut entries = Vec::with_capacity(expect);
+                for _ in 0..expect {
+                    entries.push((
+                        rng.gen_range(0..rows),
+                        rng.gen_range(0..cols),
+                        rng.gen_range(0.1..1.0),
+                    ));
+                }
+                if entries.is_empty() {
+                    continue;
+                }
+                records.push((
+                    MatrixIndexes(i as i64, j as i64),
+                    MLBlock::Sparse(CooBlock {
+                        rows,
+                        cols,
+                        entries,
+                    }),
+                ));
+            }
+        }
+        hmr_api::io::seqfile::write_seq_file(
+            fs,
+            &dir.join(&hmr_api::io::part_file_name(p)),
+            &records,
+        )?;
+    }
+    Ok(())
+}
+
+/// Materialize a blocked sparse matrix back into a dense driver matrix
+/// (test helper for small instances).
+pub fn read_blocked_to_dense(
+    fs: &dyn hmr_api::FileSystem,
+    dir: &hmr_api::HPath,
+    n_rows: usize,
+    n_cols: usize,
+    block: usize,
+    num_partitions: usize,
+) -> Result<DenseMatrix> {
+    let mut m = DenseMatrix::zeros(n_rows, n_cols);
+    for p in 0..num_partitions {
+        let path = dir.join(&hmr_api::io::part_file_name(p));
+        if !fs.exists(&path) {
+            continue;
+        }
+        let recs: Vec<(MatrixIndexes, MLBlock)> = hmr_api::io::seqfile::read_seq_file(fs, &path)?;
+        for (k, v) in recs {
+            let d = v.to_dense();
+            let (bi, bj) = (k.0 as usize, k.1 as usize);
+            for r in 0..d.rows {
+                for c in 0..d.cols {
+                    let val = d.get(r, c);
+                    if val != 0.0 {
+                        m.set(bi * block + r, bj * block + c, m.get(bi * block + r, bj * block + c) + val);
+                    }
+                }
+            }
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmr_api::writable::{from_bytes, to_bytes};
+
+    #[test]
+    fn indexes_roundtrip() {
+        for ix in [MatrixIndexes(0, 0), MatrixIndexes(-3, 1 << 40)] {
+            let back: MatrixIndexes = from_bytes(&to_bytes(&ix)).unwrap();
+            assert_eq!(back, ix);
+        }
+    }
+
+    #[test]
+    fn coo_roundtrip_and_fatness() {
+        let b = CooBlock {
+            rows: 10,
+            cols: 10,
+            entries: vec![(1, 2, 3.0), (9, 9, -1.0)],
+        };
+        let bytes = to_bytes(&b);
+        assert_eq!(bytes.len(), b.serialized_size());
+        let back: CooBlock = from_bytes(&bytes).unwrap();
+        assert_eq!(back, b);
+        // The format really is fat: ≥ 32 bytes per entry.
+        assert!(bytes.len() >= 8 + 2 * COO_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn coo_is_fatter_than_csc_per_nnz() {
+        // The §6.4 pessimization holds quantitatively against the §6.2
+        // hand-written format.
+        let entries: Vec<(u32, u32, f64)> = (0..100).map(|i| (i % 10, i / 10, 1.0)).collect();
+        let coo = CooBlock {
+            rows: 10,
+            cols: 10,
+            entries: entries.clone(),
+        };
+        let csc = workloads_like_csc_size(10, 10, &entries);
+        assert!(
+            coo.serialized_size() as f64 > 2.0 * csc as f64,
+            "COO {} vs CSC-equivalent {}",
+            coo.serialized_size(),
+            csc
+        );
+    }
+
+    // Byte count of the same data in a CSC layout (colptr + rowidx + vals).
+    fn workloads_like_csc_size(_rows: u32, cols: u32, entries: &[(u32, u32, f64)]) -> usize {
+        8 + 1 + 4 * (cols as usize + 1) + 4 * entries.len() + 8 * entries.len()
+    }
+
+    #[test]
+    fn sparse_dense_multiplies_agree() {
+        let b = CooBlock {
+            rows: 3,
+            cols: 2,
+            entries: vec![(0, 0, 2.0), (2, 1, 4.0), (1, 0, 1.0)],
+        };
+        let x = DenseMatrix::from_vec(2, 2, vec![1.0, 10.0, 2.0, 20.0]).unwrap();
+        let y = b.multiply_dense(&x);
+        // dense equivalent check
+        let bd = MLBlock::Sparse(b.clone()).to_dense();
+        let yd = bd.matmul(&x).unwrap();
+        assert_eq!(y, yd);
+        // transpose path
+        let xt = DenseMatrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]).unwrap();
+        let yt = b.multiply_transpose_dense(&xt);
+        let ytd = bd.transpose().matmul(&xt).unwrap();
+        assert_eq!(yt, ytd);
+    }
+
+    #[test]
+    fn generator_roundtrips_through_dense() {
+        let fs = hmr_api::MemFs::new();
+        generate_blocked_sparse(&fs, &hmr_api::HPath::new("/m"), 25, 15, 10, 0.2, 3, 7).unwrap();
+        let d = read_blocked_to_dense(&fs, &hmr_api::HPath::new("/m"), 25, 15, 10, 3).unwrap();
+        let nnz = d.data.iter().filter(|v| **v != 0.0).count();
+        assert!(nnz > 20, "expected non-trivial density, got {nnz}");
+        assert_eq!(d.rows, 25);
+        assert_eq!(d.cols, 15);
+    }
+
+    #[test]
+    fn mlblock_dense_roundtrip() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = MLBlock::from_dense(&m);
+        let bytes = to_bytes(&b);
+        assert_eq!(bytes.len(), b.serialized_size());
+        let back: MLBlock = from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_dense(), m);
+    }
+}

@@ -1,0 +1,178 @@
+//! Driver-side dense matrices — SystemML's control-program (CP) operators
+//! for data small enough to live in the driver.
+
+use hmr_api::error::{HmrError, Result};
+
+/// A row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major values (`rows * cols`).
+    pub data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row-major data.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(HmrError::InvalidJob(format!(
+                "dense matrix {rows}x{cols} needs {} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self × other`.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != other.rows {
+            return Err(HmrError::InvalidJob(format!(
+                "matmul shape mismatch: {}x{} × {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ`.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self ∘ a ⊘ (b + eps)` — the GNMF multiplicative
+    /// update kernel.
+    pub fn mul_div(&self, a: &DenseMatrix, b: &DenseMatrix, eps: f64) -> Result<DenseMatrix> {
+        if self.rows != a.rows || self.cols != a.cols || self.rows != b.rows || self.cols != b.cols
+        {
+            return Err(HmrError::InvalidJob("mul_div shape mismatch".into()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&a.data)
+            .zip(&b.data)
+            .map(|((s, x), y)| s * x / (y + eps))
+            .collect();
+        DenseMatrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// `self + other * scale`.
+    pub fn axpy(&self, other: &DenseMatrix, scale: f64) -> Result<DenseMatrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(HmrError::InvalidJob("axpy shape mismatch".into()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b * scale)
+            .collect();
+        DenseMatrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Frobenius inner product `⟨self, other⟩`.
+    pub fn dot(&self, other: &DenseMatrix) -> f64 {
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.dot(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, d: &[f64]) -> DenseMatrix {
+        DenseMatrix::from_vec(rows, cols, d.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_is_error() {
+        let a = m(2, 3, &[0.0; 6]);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn mul_div_is_elementwise() {
+        let s = m(1, 3, &[2.0, 4.0, 6.0]);
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[2.0, 4.0, 6.0]);
+        let r = s.mul_div(&a, &b, 0.0).unwrap();
+        assert_eq!(r.data, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert_eq!(a.axpy(&b, 2.0).unwrap().data, vec![9.0, 12.0, 15.0]);
+        assert_eq!(b.norm_sq(), 77.0);
+    }
+
+    #[test]
+    fn bad_dimensions_rejected() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)]
+
+//! # sysml — a miniature SystemML (paper §6.4)
+//!
+//! SystemML is "an R-like declarative domain specific language \[whose\]
+//! compiler produces optimized Hadoop jobs". The paper runs three of its
+//! programs — global non-negative matrix factorization, linear regression,
+//! and PageRank — *unmodified* on both engines, which makes SystemML "a
+//! simple and convenient way to benchmark the performance of multiple Map
+//! Reduce implementations on standard Machine Learning algorithms".
+//!
+//! This crate reproduces the slice of SystemML those benchmarks exercise:
+//!
+//! * a blocked-matrix runtime ([`block`]) whose sparse blocks use a
+//!   deliberately *inefficient* coordinate representation — the paper notes
+//!   SystemML's block format is "about 10x less space-efficient" than the
+//!   hand-written CSC of §6.2;
+//! * the `mapmult` job pattern ([`mapmult`]): the big sparse matrix streams
+//!   through mappers while the small dense operand is broadcast through the
+//!   distributed cache; partial products are summed by block row;
+//! * driver-side dense algebra ([`dense`]) standing in for SystemML's
+//!   control-program (CP) operators on small matrices;
+//! * the three benchmark algorithms ([`gnmf`], [`linreg`], [`pagerank`]),
+//!   each generic over the [`hmr_api::Engine`] so the identical job
+//!   sequence runs on Hadoop and on M3R.
+//!
+//! Faithful pessimizations (§6.4): the generated jobs do **not** implement
+//! `ImmutableOutput` (so M3R clones defensively), do **not** use a
+//! locality-aware partitioner (no partition-stability exploitation), and
+//! carry the fat block format. M3R's remaining advantages — input caching
+//! across the job sequence, cheap job startup, in-memory shuffle — are
+//! exactly what Figures 9–11 measure.
+
+pub mod block;
+pub mod dense;
+pub mod gnmf;
+pub mod linreg;
+pub mod mapmult;
+pub mod pagerank;
+
+pub use block::{generate_blocked_sparse, CooBlock, MLBlock, MatrixIndexes};
+pub use dense::DenseMatrix;
+pub use gnmf::{run_gnmf, GnmfResult};
+pub use linreg::{run_linreg, LinRegResult};
+pub use mapmult::{read_dense_result, write_dense_operand, MapMultJob};
+pub use pagerank::{run_pagerank, PageRankResult};
+
+/// Simulated seconds per floating-point operation in SystemML-generated
+/// kernels (JIT-compiled Java on the paper's Opterons).
+pub const SECONDS_PER_FLOP: f64 = 8e-9;

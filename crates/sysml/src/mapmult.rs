@@ -1,0 +1,387 @@
+//! The `mapmult` job pattern: big-sparse × small-dense multiplication, the
+//! workhorse SystemML compiles matrix products into when one operand fits
+//! in memory. The small operand travels through the **distributed cache**;
+//! mappers multiply each sparse block against the matching slice and emit
+//! dense partials keyed by result block row; reducers sum.
+//!
+//! Faithful §6.4 pessimizations: no `ImmutableOutput`, the default hash
+//! partitioner, and the fat COO block format from [`crate::block`].
+
+use std::sync::Arc;
+
+use hmr_api::collect::OutputCollector;
+use hmr_api::conf::JobConf;
+use hmr_api::counters::TaskContext;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::fs::{FileSystem, HPath};
+use hmr_api::io::{InputFormat, OutputFormat, SequenceFileInputFormat, SequenceFileOutputFormat};
+use hmr_api::job::{Engine, JobDef, JobResult};
+use hmr_api::task::{TaskMapper, TaskReducer};
+use simgrid::cost::Charge;
+
+use crate::block::{MLBlock, MatrixIndexes};
+use crate::dense::DenseMatrix;
+use crate::SECONDS_PER_FLOP;
+
+/// Serialize a dense operand for the distributed cache.
+pub fn write_dense_operand(fs: &dyn FileSystem, path: &HPath, m: &DenseMatrix) -> Result<()> {
+    let mut bytes = Vec::with_capacity(16 + 8 * m.data.len());
+    bytes.extend_from_slice(&(m.rows as u64).to_le_bytes());
+    bytes.extend_from_slice(&(m.cols as u64).to_le_bytes());
+    for v in &m.data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    if fs.exists(path) {
+        fs.delete(path, false)?;
+    }
+    hmr_api::fs::write_file(fs, path, &bytes)
+}
+
+fn parse_dense_operand(bytes: &[u8]) -> Result<DenseMatrix> {
+    if bytes.len() < 16 {
+        return Err(HmrError::Serde("dense operand too short".into()));
+    }
+    let rows = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+    let cols = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    if bytes.len() != 16 + 8 * rows * cols {
+        return Err(HmrError::Serde("dense operand length mismatch".into()));
+    }
+    let data = bytes[16..]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// `C = A × B` (or `C = Aᵀ × B`): A blocked sparse on the DFS, B dense in
+/// the distributed cache, C dense blocks keyed `(block_row, 0)`.
+pub struct MapMultJob {
+    /// Distributed-cache path of the dense operand.
+    pub operand_path: HPath,
+    /// Multiply with `Aᵀ` instead of `A`.
+    pub transpose: bool,
+    /// Blocking factor of A (and of the result).
+    pub block: usize,
+}
+
+struct MapMultMapper {
+    operand_path: String,
+    transpose: bool,
+    block: usize,
+    operand: Option<Arc<DenseMatrix>>,
+}
+
+impl MapMultMapper {
+    fn operand(&mut self, ctx: &TaskContext) -> Result<Arc<DenseMatrix>> {
+        if let Some(op) = &self.operand {
+            return Ok(Arc::clone(op));
+        }
+        let bytes = ctx.cache_file(&self.operand_path).ok_or_else(|| {
+            HmrError::InvalidJob(format!(
+                "mapmult operand {} not in distributed cache",
+                self.operand_path
+            ))
+        })?;
+        let m = Arc::new(parse_dense_operand(&bytes)?);
+        self.operand = Some(Arc::clone(&m));
+        Ok(m)
+    }
+}
+
+impl TaskMapper<MatrixIndexes, MLBlock, MatrixIndexes, MLBlock> for MapMultMapper {
+    fn map(
+        &mut self,
+        key: Arc<MatrixIndexes>,
+        value: Arc<MLBlock>,
+        out: &mut dyn OutputCollector<MatrixIndexes, MLBlock>,
+        ctx: &mut TaskContext,
+    ) -> Result<()> {
+        let b = self.operand(ctx)?;
+        let MLBlock::Sparse(a) = &*value else {
+            return Err(HmrError::InvalidJob("mapmult expects sparse input".into()));
+        };
+        let (i, j) = (key.0 as usize, key.1 as usize);
+        // Slice the dense operand to this block's input rows.
+        let (slice_start, slice_rows, out_key) = if self.transpose {
+            (i * self.block, a.rows as usize, j as i64)
+        } else {
+            (j * self.block, a.cols as usize, i as i64)
+        };
+        if slice_start + slice_rows > b.rows {
+            return Err(HmrError::InvalidJob(format!(
+                "operand has {} rows, block needs rows {}..{}",
+                b.rows,
+                slice_start,
+                slice_start + slice_rows
+            )));
+        }
+        let slice = DenseMatrix::from_vec(
+            slice_rows,
+            b.cols,
+            b.data[slice_start * b.cols..(slice_start + slice_rows) * b.cols].to_vec(),
+        )?;
+        simgrid::meter::charge(Charge::Compute {
+            seconds: 2.0 * a.nnz() as f64 * b.cols as f64 * SECONDS_PER_FLOP,
+        });
+        let partial = if self.transpose {
+            a.multiply_transpose_dense(&slice)
+        } else {
+            a.multiply_dense(&slice)
+        };
+        out.collect(
+            Arc::new(MatrixIndexes(out_key, 0)),
+            Arc::new(MLBlock::from_dense(&partial)),
+        )
+    }
+}
+
+struct SumDenseReducer;
+
+impl TaskReducer<MatrixIndexes, MLBlock, MatrixIndexes, MLBlock> for SumDenseReducer {
+    fn reduce(
+        &mut self,
+        key: Arc<MatrixIndexes>,
+        values: &mut dyn Iterator<Item = Arc<MLBlock>>,
+        out: &mut dyn OutputCollector<MatrixIndexes, MLBlock>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        let mut acc: Option<DenseMatrix> = None;
+        let mut ops = 0usize;
+        for v in values {
+            let d = v.to_dense();
+            match &mut acc {
+                None => acc = Some(d),
+                Some(a) => {
+                    ops += d.data.len();
+                    *a = a.axpy(&d, 1.0)?;
+                }
+            }
+        }
+        simgrid::meter::charge(Charge::Compute {
+            seconds: ops as f64 * SECONDS_PER_FLOP,
+        });
+        if let Some(a) = acc {
+            out.collect(key, Arc::new(MLBlock::from_dense(&a)))?;
+        }
+        Ok(())
+    }
+}
+
+impl JobDef for MapMultJob {
+    type K1 = MatrixIndexes;
+    type V1 = MLBlock;
+    type K2 = MatrixIndexes;
+    type V2 = MLBlock;
+    type K3 = MatrixIndexes;
+    type V3 = MLBlock;
+
+    fn create_mapper(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskMapper<MatrixIndexes, MLBlock, MatrixIndexes, MLBlock>> {
+        Box::new(MapMultMapper {
+            operand_path: self.operand_path.as_str().to_string(),
+            transpose: self.transpose,
+            block: self.block,
+            operand: None,
+        })
+    }
+    fn create_reducer(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskReducer<MatrixIndexes, MLBlock, MatrixIndexes, MLBlock>> {
+        Box::new(SumDenseReducer)
+    }
+    fn input_format(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn InputFormat<MatrixIndexes, MLBlock>> {
+        Box::new(SequenceFileInputFormat::new())
+    }
+    fn output_format(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn OutputFormat<MatrixIndexes, MLBlock>> {
+        Box::new(SequenceFileOutputFormat::new())
+    }
+    // Deliberately NOT ImmutableOutput and on the default hash partitioner:
+    // "the code generated by the compiler is not aware of ImmutableOutput
+    // (hence is not optimized for cloning), and does not take advantage of
+    // partition-stability" (§6.4).
+    fn name(&self) -> &str {
+        if self.transpose {
+            "sysml-mapmult-t"
+        } else {
+            "sysml-mapmult"
+        }
+    }
+}
+
+/// Run one mapmult: `result_dir = op(A[dir]) × B[operand]`. Returns the
+/// job result; read the product back with [`read_dense_result`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_mapmult<E: Engine>(
+    engine: &mut E,
+    fs: &dyn FileSystem,
+    a_dir: &HPath,
+    operand_path: &HPath,
+    operand: &DenseMatrix,
+    out_dir: &HPath,
+    transpose: bool,
+    block: usize,
+    reducers: usize,
+) -> Result<JobResult> {
+    write_dense_operand(fs, operand_path, operand)?;
+    let mut conf = JobConf::new();
+    conf.add_input_path(a_dir);
+    conf.set_output_path(out_dir);
+    conf.set_num_reduce_tasks(reducers);
+    conf.add_cache_file(operand_path);
+    engine.run_job(
+        Arc::new(MapMultJob {
+            operand_path: operand_path.clone(),
+            transpose,
+            block,
+        }),
+        &conf,
+    )
+}
+
+/// Assemble the blocked dense result of a mapmult into one driver matrix
+/// with `total_rows` rows.
+pub fn read_dense_result(
+    fs: &dyn FileSystem,
+    dir: &HPath,
+    reducers: usize,
+    total_rows: usize,
+    cols: usize,
+    block: usize,
+) -> Result<DenseMatrix> {
+    let mut out = DenseMatrix::zeros(total_rows, cols);
+    for p in 0..reducers {
+        let path = dir.join(&hmr_api::io::part_file_name(p));
+        if !fs.exists(&path) {
+            continue;
+        }
+        let recs: Vec<(MatrixIndexes, MLBlock)> = hmr_api::io::seqfile::read_seq_file(fs, &path)?;
+        for (k, v) in recs {
+            let d = v.to_dense();
+            let base = k.0 as usize * block;
+            for r in 0..d.rows {
+                for c in 0..d.cols {
+                    out.set(base + r, c, d.get(r, c));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{generate_blocked_sparse, read_blocked_to_dense};
+    use m3r::M3REngine;
+    use simdfs::SimDfs;
+    use simgrid::{Cluster, CostModel};
+
+    #[test]
+    fn operand_file_roundtrip() {
+        let fs = hmr_api::MemFs::new();
+        let m = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        write_dense_operand(&fs, &HPath::new("/op"), &m).unwrap();
+        let bytes = hmr_api::fs::read_file(&fs, &HPath::new("/op")).unwrap();
+        assert_eq!(parse_dense_operand(&bytes).unwrap(), m);
+        // Overwrite works (a new operand per iteration).
+        let m2 = DenseMatrix::zeros(1, 1);
+        write_dense_operand(&fs, &HPath::new("/op"), &m2).unwrap();
+        let bytes = hmr_api::fs::read_file(&fs, &HPath::new("/op")).unwrap();
+        assert_eq!(parse_dense_operand(&bytes).unwrap(), m2);
+    }
+
+    #[test]
+    fn mapmult_matches_dense_reference_both_modes() {
+        let cluster = Cluster::new(3, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+        let (n_rows, n_cols, block, parts, k) = (30, 20, 10, 3, 4);
+        generate_blocked_sparse(&fs, &HPath::new("/a"), n_rows, n_cols, block, 0.2, parts, 3)
+            .unwrap();
+        let a = read_blocked_to_dense(&fs, &HPath::new("/a"), n_rows, n_cols, block, parts)
+            .unwrap();
+        let mut engine = M3REngine::new(cluster, Arc::new(fs.clone()));
+
+        // C = A × B  (B: n_cols × k)
+        let b = DenseMatrix::from_vec(
+            n_cols,
+            k,
+            (0..n_cols * k).map(|i| (i % 7) as f64 * 0.25).collect(),
+        )
+        .unwrap();
+        run_mapmult(
+            &mut engine,
+            &fs,
+            &HPath::new("/a"),
+            &HPath::new("/ops/b"),
+            &b,
+            &HPath::new("/c"),
+            false,
+            block,
+            parts,
+        )
+        .unwrap();
+        let c = read_dense_result(&fs, &HPath::new("/c"), parts, n_rows, k, block).unwrap();
+        let expect = a.matmul(&b).unwrap();
+        for (x, y) in c.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+
+        // Ct = Aᵀ × D  (D: n_rows × k)
+        let d = DenseMatrix::from_vec(
+            n_rows,
+            k,
+            (0..n_rows * k).map(|i| ((i % 5) as f64) - 2.0).collect(),
+        )
+        .unwrap();
+        run_mapmult(
+            &mut engine,
+            &fs,
+            &HPath::new("/a"),
+            &HPath::new("/ops/d"),
+            &d,
+            &HPath::new("/ct"),
+            true,
+            block,
+            parts,
+        )
+        .unwrap();
+        let ct = read_dense_result(&fs, &HPath::new("/ct"), parts, n_cols, k, block).unwrap();
+        let expect_t = a.transpose().matmul(&d).unwrap();
+        for (x, y) in ct.data.iter().zip(&expect_t.data) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn missing_operand_is_a_clean_error() {
+        let cluster = Cluster::new(2, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+        generate_blocked_sparse(&fs, &HPath::new("/a"), 10, 10, 10, 0.3, 2, 1).unwrap();
+        let mut engine = M3REngine::new(cluster, Arc::new(fs.clone()));
+        let mut conf = JobConf::new();
+        conf.add_input_path(&HPath::new("/a"));
+        conf.set_output_path(&HPath::new("/c"));
+        conf.set_num_reduce_tasks(2);
+        // no add_cache_file → mapper must fail with InvalidJob
+        let err = engine
+            .run_job(
+                Arc::new(MapMultJob {
+                    operand_path: HPath::new("/ops/missing"),
+                    transpose: false,
+                    block: 10,
+                }),
+                &conf,
+            )
+            .unwrap_err();
+        assert!(matches!(err, HmrError::InvalidJob(_)));
+    }
+}

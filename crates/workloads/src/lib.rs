@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)]
+
+//! # workloads — the paper's benchmark programs
+//!
+//! Every workload is an ordinary `hmr_api::JobDef` (plus a data generator),
+//! written once and run unchanged on both engines — the experimental
+//! methodology of §6:
+//!
+//! * [`wordcount`] — §6.3 / Figure 8, in both the mutating "re-use
+//!   TextWritable" style and the `ImmutableOutput`-compatible "new
+//!   TextWritable" style of Figure 4;
+//! * [`microbench`] — §6.1 / Figure 6, the parameterized local/remote
+//!   shuffle benchmark (ascending integer keys, fixed-size byte values,
+//!   three chained iterations);
+//! * [`matvec`] — §6.2 / Figure 7, blocked sparse-matrix × dense-vector
+//!   multiplication: two MR jobs per iteration, `MultipleInputs`, a row
+//!   partitioner exploiting partition stability, broadcast V blocks that
+//!   exercise de-duplication;
+//! * [`textgen`] — deterministic text corpus generation for WordCount.
+
+pub mod matvec;
+pub mod microbench;
+pub mod textgen;
+pub mod wordcount;
+
+pub use matvec::{generate_matvec_input, run_matvec_iterations, CscBlock, MatVecJob1, MatVecJob2};
+pub use microbench::{generate_microbench_input, run_microbench, MicrobenchJob};
+pub use textgen::generate_text;
+pub use wordcount::{run_wordcount, WcStyle, WordCountJob};

@@ -1,0 +1,862 @@
+//! Blocked sparse-matrix × dense-vector multiplication (§3, §6.2, Fig 7) —
+//! "the core computation inside PageRank".
+//!
+//! The matrix `G` is blocked `b×b` in compressed-sparse-column form; the
+//! vector `V` is blocked `b×1`. One multiplication runs as **two jobs**:
+//!
+//! 1. **Product**: `MultipleInputs` feeds G blocks (tag 0, passed through)
+//!    and V blocks (tag 1, *broadcast* down their column: block `j` of V is
+//!    emitted once per row block `i`, keyed `(i, j)` — the de-duplicating
+//!    serializer sends one copy per place). The reducer multiplies
+//!    `G(i,j) × V(j)` into a partial result keyed `(i, j)`.
+//! 2. **Sum**: the mapper rewrites keys to `(i, 0)`; the reducer adds the
+//!    partial vectors into the new `V(i)`.
+//!
+//! Both jobs use the row partitioner and `ImmutableOutput`; intermediate
+//! outputs are temporary. With partition stability, "the shuffle phase of
+//! the second job in each iteration can be done without any communication"
+//! and G never moves after the initial placement.
+
+use std::sync::Arc;
+
+use hmr_api::collect::OutputCollector;
+use hmr_api::conf::JobConf;
+use hmr_api::counters::TaskContext;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::fs::{FileSystem, HPath};
+use hmr_api::io::seqfile::write_seq_file;
+use hmr_api::io::{InputFormat, OutputFormat, SequenceFileInputFormat, SequenceFileOutputFormat};
+use hmr_api::job::{Engine, JobDef, JobResult};
+use hmr_api::multi::DelegatingInputFormat;
+use hmr_api::partition::{FnPartitioner, Partitioner};
+use hmr_api::task::{TaskMapper, TaskReducer};
+use hmr_api::writable::{
+    ByteReader, DoubleArrayWritable, IntWritable, PairWritable, Writable,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simgrid::cost::Charge;
+
+/// Two-dimensional block index `(row_block, col_block)`; the paper's
+/// "custom key class that encapsulates a pair of ints".
+pub type BlockKey = PairWritable<IntWritable, IntWritable>;
+
+/// Simulated seconds per floating-point multiply-add in the reducer (the
+/// testbed's 2.3 GHz Opterons sustained a few hundred MFLOP/s on sparse
+/// kernels once JVM overheads are counted).
+pub const SECONDS_PER_FLOP: f64 = 6e-9;
+
+/// A compressed-sparse-column matrix block.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CscBlock {
+    /// Rows in this block.
+    pub rows: u32,
+    /// Columns in this block.
+    pub cols: u32,
+    /// Column pointers (`cols + 1` entries).
+    pub colptr: Vec<u32>,
+    /// Row indices of non-zeros.
+    pub rowidx: Vec<u32>,
+    /// Non-zero values, column-major.
+    pub vals: Vec<f64>,
+}
+
+impl CscBlock {
+    /// Build from (row, col, value) triplets.
+    pub fn from_triplets(rows: u32, cols: u32, mut t: Vec<(u32, u32, f64)>) -> Self {
+        t.sort_by_key(|&(r, c, _)| (c, r));
+        let mut colptr = vec![0u32; cols as usize + 1];
+        let mut rowidx = Vec::with_capacity(t.len());
+        let mut vals = Vec::with_capacity(t.len());
+        for (r, c, v) in t {
+            colptr[c as usize + 1] += 1;
+            rowidx.push(r);
+            vals.push(v);
+        }
+        for c in 0..cols as usize {
+            colptr[c + 1] += colptr[c];
+        }
+        CscBlock {
+            rows,
+            cols,
+            colptr,
+            rowidx,
+            vals,
+        }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `y = self * x` (x has `cols` entries, y has `rows`).
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.cols as usize);
+        let mut y = vec![0.0; self.rows as usize];
+        for (c, &xc) in x.iter().enumerate().take(self.cols as usize) {
+            if xc == 0.0 {
+                continue;
+            }
+            for k in self.colptr[c] as usize..self.colptr[c + 1] as usize {
+                y[self.rowidx[k] as usize] += self.vals[k] * xc;
+            }
+        }
+        y
+    }
+}
+
+impl Writable for CscBlock {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&self.cols.to_le_bytes());
+        hmr_api::writable::write_vu64(out, self.vals.len() as u64);
+        for p in &self.colptr {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        for r in &self.rowidx {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for v in &self.vals {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
+        let rows = input.read_u32()?;
+        let cols = input.read_u32()?;
+        let nnz = input.read_vu64()? as usize;
+        let mut colptr = Vec::with_capacity(cols as usize + 1);
+        for _ in 0..=cols {
+            colptr.push(input.read_u32()?);
+        }
+        let mut rowidx = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            rowidx.push(input.read_u32()?);
+        }
+        let mut vals = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            vals.push(f64::from_le_bytes(input.read_bytes(8)?.try_into().unwrap()));
+        }
+        Ok(CscBlock {
+            rows,
+            cols,
+            colptr,
+            rowidx,
+            vals,
+        })
+    }
+
+    fn serialized_size(&self) -> usize {
+        let mut scratch = Vec::new();
+        hmr_api::writable::write_vu64(&mut scratch, self.vals.len() as u64);
+        8 + scratch.len() + 4 * self.colptr.len() + 4 * self.rowidx.len() + 8 * self.vals.len()
+    }
+}
+
+/// Value type shared by both inputs: a G block or a V (partial-)block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatVecValue {
+    /// A sparse matrix block.
+    G(CscBlock),
+    /// A dense vector block (also partial products).
+    V(DoubleArrayWritable),
+}
+
+impl Writable for MatVecValue {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        match self {
+            MatVecValue::G(b) => {
+                out.push(0);
+                b.write_to(out);
+            }
+            MatVecValue::V(v) => {
+                out.push(1);
+                v.write_to(out);
+            }
+        }
+    }
+    fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
+        match input.read_u8()? {
+            0 => Ok(MatVecValue::G(CscBlock::read_from(input)?)),
+            1 => Ok(MatVecValue::V(DoubleArrayWritable::read_from(input)?)),
+            t => Err(HmrError::Serde(format!("bad MatVecValue tag {t}"))),
+        }
+    }
+    fn serialized_size(&self) -> usize {
+        1 + match self {
+            MatVecValue::G(b) => b.serialized_size(),
+            MatVecValue::V(v) => v.serialized_size(),
+        }
+    }
+}
+
+/// The row partitioner: blocks of row-block `i` go to partition `i % n` —
+/// "an appropriate partitioner (e.g. one that assigns to place i the ith
+/// contiguous chunk of rows)".
+pub fn row_partitioner() -> Box<dyn Partitioner<BlockKey, MatVecValue>> {
+    Box::new(FnPartitioner::new(|k: &BlockKey, _: &MatVecValue, n| {
+        k.0 .0 as usize % n
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Job 1: partial products
+// ---------------------------------------------------------------------------
+
+/// Job 1 of an iteration: `G` pass-through + `V` broadcast, multiply.
+pub struct MatVecJob1 {
+    /// Directory of G blocks.
+    pub g_dir: HPath,
+    /// Directory of current V blocks.
+    pub v_dir: HPath,
+    /// Number of row blocks (broadcast fan-out).
+    pub row_blocks: usize,
+}
+
+struct GPassMapper;
+
+impl TaskMapper<BlockKey, MatVecValue, BlockKey, MatVecValue> for GPassMapper {
+    fn map(
+        &mut self,
+        key: Arc<BlockKey>,
+        value: Arc<MatVecValue>,
+        out: &mut dyn OutputCollector<BlockKey, MatVecValue>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        out.collect(key, value)
+    }
+}
+
+struct VBroadcastMapper {
+    row_blocks: usize,
+}
+
+impl TaskMapper<BlockKey, MatVecValue, BlockKey, MatVecValue> for VBroadcastMapper {
+    fn map(
+        &mut self,
+        key: Arc<BlockKey>,
+        value: Arc<MatVecValue>,
+        out: &mut dyn OutputCollector<BlockKey, MatVecValue>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        // "The V mapper broadcasts each V block to every index of G that
+        // needs to be multiplied by it (i.e. a whole column)."
+        let j = key.0 .0; // V block (j, 0) covers column block j of G
+        for i in 0..self.row_blocks {
+            out.collect(
+                Arc::new(PairWritable(IntWritable(i as i32), IntWritable(j))),
+                Arc::clone(&value),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+struct MultiplyReducer;
+
+impl TaskReducer<BlockKey, MatVecValue, BlockKey, MatVecValue> for MultiplyReducer {
+    fn reduce(
+        &mut self,
+        key: Arc<BlockKey>,
+        values: &mut dyn Iterator<Item = Arc<MatVecValue>>,
+        out: &mut dyn OutputCollector<BlockKey, MatVecValue>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        let mut g: Option<Arc<MatVecValue>> = None;
+        let mut v: Option<Arc<MatVecValue>> = None;
+        for val in values {
+            match &*val {
+                MatVecValue::G(_) => g = Some(val),
+                MatVecValue::V(_) => v = Some(val),
+            }
+        }
+        let (Some(g), Some(v)) = (g, v) else {
+            // An all-zero block was never materialized; nothing to emit.
+            return Ok(());
+        };
+        let (MatVecValue::G(gb), MatVecValue::V(vb)) = (&*g, &*v) else {
+            unreachable!("matched above");
+        };
+        // Real compute, plus its modeled cost: 2 flops per stored non-zero.
+        simgrid::meter::charge(Charge::Compute {
+            seconds: 2.0 * gb.nnz() as f64 * SECONDS_PER_FLOP,
+        });
+        let y = gb.multiply(&vb.0);
+        out.collect(
+            key,
+            Arc::new(MatVecValue::V(DoubleArrayWritable(y))),
+        )
+    }
+}
+
+impl JobDef for MatVecJob1 {
+    type K1 = BlockKey;
+    type V1 = MatVecValue;
+    type K2 = BlockKey;
+    type V2 = MatVecValue;
+    type K3 = BlockKey;
+    type V3 = MatVecValue;
+
+    fn create_mapper(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskMapper<BlockKey, MatVecValue, BlockKey, MatVecValue>> {
+        Box::new(hmr_api::multi::DelegatingMapper::new(vec![
+            Box::new(GPassMapper),
+            Box::new(VBroadcastMapper {
+                row_blocks: self.row_blocks,
+            }),
+        ]))
+    }
+
+    fn create_reducer(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskReducer<BlockKey, MatVecValue, BlockKey, MatVecValue>> {
+        Box::new(MultiplyReducer)
+    }
+
+    fn partitioner(&self, _conf: &JobConf) -> Box<dyn Partitioner<BlockKey, MatVecValue>> {
+        row_partitioner()
+    }
+
+    fn input_format(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn InputFormat<BlockKey, MatVecValue>> {
+        let mut dif = DelegatingInputFormat::new();
+        dif.add_input(
+            vec![self.g_dir.clone()],
+            Arc::new(SequenceFileInputFormat::new()),
+        );
+        dif.add_input(
+            vec![self.v_dir.clone()],
+            Arc::new(SequenceFileInputFormat::new()),
+        );
+        Box::new(dif)
+    }
+
+    fn output_format(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn OutputFormat<BlockKey, MatVecValue>> {
+        Box::new(SequenceFileOutputFormat::new())
+    }
+
+    fn immutable_output(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "matvec-product"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job 2: summation
+// ---------------------------------------------------------------------------
+
+/// Job 2 of an iteration: rewrite keys to column 0, sum partial vectors.
+pub struct MatVecJob2;
+
+struct RekeyMapper;
+
+impl TaskMapper<BlockKey, MatVecValue, BlockKey, MatVecValue> for RekeyMapper {
+    fn map(
+        &mut self,
+        key: Arc<BlockKey>,
+        value: Arc<MatVecValue>,
+        out: &mut dyn OutputCollector<BlockKey, MatVecValue>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        // "The second job collects them by using its map logic to rewrite
+        // the keys to have column 0."
+        out.collect(
+            Arc::new(PairWritable(key.0, IntWritable(0))),
+            value,
+        )
+    }
+}
+
+struct SumReducer;
+
+impl TaskReducer<BlockKey, MatVecValue, BlockKey, MatVecValue> for SumReducer {
+    fn reduce(
+        &mut self,
+        key: Arc<BlockKey>,
+        values: &mut dyn Iterator<Item = Arc<MatVecValue>>,
+        out: &mut dyn OutputCollector<BlockKey, MatVecValue>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        let mut acc: Vec<f64> = Vec::new();
+        let mut n_ops = 0usize;
+        for val in values {
+            let MatVecValue::V(part) = &*val else {
+                return Err(HmrError::InvalidJob(
+                    "sum job expects only V partials".into(),
+                ));
+            };
+            if acc.is_empty() {
+                acc = part.0.clone();
+            } else {
+                if acc.len() != part.0.len() {
+                    return Err(HmrError::InvalidJob(
+                        "partial vectors of mismatched block sizes".into(),
+                    ));
+                }
+                for (a, b) in acc.iter_mut().zip(&part.0) {
+                    *a += b;
+                }
+                n_ops += part.0.len();
+            }
+        }
+        simgrid::meter::charge(Charge::Compute {
+            seconds: n_ops as f64 * SECONDS_PER_FLOP,
+        });
+        if acc.is_empty() {
+            return Ok(());
+        }
+        out.collect(
+            key,
+            Arc::new(MatVecValue::V(DoubleArrayWritable(acc))),
+        )
+    }
+}
+
+impl JobDef for MatVecJob2 {
+    type K1 = BlockKey;
+    type V1 = MatVecValue;
+    type K2 = BlockKey;
+    type V2 = MatVecValue;
+    type K3 = BlockKey;
+    type V3 = MatVecValue;
+
+    fn create_mapper(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskMapper<BlockKey, MatVecValue, BlockKey, MatVecValue>> {
+        Box::new(RekeyMapper)
+    }
+    fn create_reducer(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn TaskReducer<BlockKey, MatVecValue, BlockKey, MatVecValue>> {
+        Box::new(SumReducer)
+    }
+    fn partitioner(&self, _conf: &JobConf) -> Box<dyn Partitioner<BlockKey, MatVecValue>> {
+        row_partitioner()
+    }
+    fn input_format(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn InputFormat<BlockKey, MatVecValue>> {
+        Box::new(SequenceFileInputFormat::new())
+    }
+    fn output_format(
+        &self,
+        _conf: &JobConf,
+    ) -> Box<dyn OutputFormat<BlockKey, MatVecValue>> {
+        Box::new(SequenceFileOutputFormat::new())
+    }
+    fn immutable_output(&self) -> bool {
+        true
+    }
+    fn name(&self) -> &str {
+        "matvec-sum"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generator & driver
+// ---------------------------------------------------------------------------
+
+/// Generate a blocked sparse matrix (`g_dir`) and dense vector (`v_dir`).
+/// `n` is the (square) matrix dimension, `block` the blocking factor
+/// (paper: 1000), `sparsity` the non-zero density (paper: 0.001). Part
+/// files are grouped by row partition, like the paper's Hadoop generator.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_matvec_input(
+    fs: &dyn FileSystem,
+    g_dir: &HPath,
+    v_dir: &HPath,
+    n: usize,
+    block: usize,
+    sparsity: f64,
+    num_partitions: usize,
+    seed: u64,
+) -> Result<()> {
+    assert!(n >= 1 && block >= 1);
+    let blocks = n.div_ceil(block);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // G: per partition, all (i, j) blocks with i ≡ p.
+    for p in 0..num_partitions {
+        let mut records: Vec<(BlockKey, MatVecValue)> = Vec::new();
+        for i in (p..blocks).step_by(num_partitions) {
+            let rows = (n - i * block).min(block) as u32;
+            for j in 0..blocks {
+                let cols = (n - j * block).min(block) as u32;
+                let expect = (rows as f64 * cols as f64 * sparsity).ceil() as usize;
+                let mut triplets = Vec::with_capacity(expect);
+                for _ in 0..expect {
+                    triplets.push((
+                        rng.gen_range(0..rows),
+                        rng.gen_range(0..cols),
+                        rng.gen_range(-1.0..1.0),
+                    ));
+                }
+                if triplets.is_empty() {
+                    continue;
+                }
+                records.push((
+                    PairWritable(IntWritable(i as i32), IntWritable(j as i32)),
+                    MatVecValue::G(CscBlock::from_triplets(rows, cols, triplets)),
+                ));
+            }
+        }
+        write_seq_file(fs, &g_dir.join(&format!("part-{p:05}")), &records)?;
+    }
+    // V: blocks (j, 0), grouped by j ≡ p.
+    for p in 0..num_partitions {
+        let mut records: Vec<(BlockKey, MatVecValue)> = Vec::new();
+        for j in (p..blocks).step_by(num_partitions) {
+            let len = (n - j * block).min(block);
+            let vals: Vec<f64> = (0..len).map(|_| rng.gen_range(0.0..1.0)).collect();
+            records.push((
+                PairWritable(IntWritable(j as i32), IntWritable(0)),
+                MatVecValue::V(DoubleArrayWritable(vals)),
+            ));
+        }
+        write_seq_file(fs, &v_dir.join(&format!("part-{p:05}")), &records)?;
+    }
+    Ok(())
+}
+
+/// Per-iteration timing of one matvec run.
+#[derive(Clone, Debug)]
+pub struct MatVecIteration {
+    /// Job 1 (product) result.
+    pub product: JobResult,
+    /// Job 2 (sum) result.
+    pub sum: JobResult,
+}
+
+impl MatVecIteration {
+    /// Total simulated seconds of the iteration.
+    pub fn sim_time(&self) -> f64 {
+        self.product.sim_time + self.sum.sim_time
+    }
+}
+
+/// Run `iterations` of `V ← G·V` on `engine`. Intermediate products and
+/// vectors are temporary; the final vector lands in
+/// `{work}/v{iterations}`. Returns per-iteration results.
+pub fn run_matvec_iterations<E: Engine>(
+    engine: &mut E,
+    g_dir: &HPath,
+    v0_dir: &HPath,
+    work: &HPath,
+    iterations: usize,
+    num_partitions: usize,
+    row_blocks: usize,
+) -> Result<Vec<MatVecIteration>> {
+    let mut out = Vec::with_capacity(iterations);
+    let mut v_dir = v0_dir.clone();
+    for it in 0..iterations {
+        let last = it + 1 == iterations;
+        let prod_dir = work.join(&format!("temp_prod{it}"));
+        let next_v = if last {
+            work.join(&format!("v{iterations}"))
+        } else {
+            work.join(&format!("temp_v{}", it + 1))
+        };
+
+        let mut c1 = JobConf::new();
+        // MultipleInputs carries its own paths; input paths here are
+        // informational.
+        c1.add_input_path(g_dir);
+        c1.add_input_path(&v_dir);
+        c1.set_output_path(&prod_dir);
+        c1.set_num_reduce_tasks(num_partitions);
+        let product = engine.run_job(
+            Arc::new(MatVecJob1 {
+                g_dir: g_dir.clone(),
+                v_dir: v_dir.clone(),
+                row_blocks,
+            }),
+            &c1,
+        )?;
+
+        let mut c2 = JobConf::new();
+        c2.add_input_path(&prod_dir);
+        c2.set_output_path(&next_v);
+        c2.set_num_reduce_tasks(num_partitions);
+        let sum = engine.run_job(Arc::new(MatVecJob2), &c2)?;
+
+        out.push(MatVecIteration { product, sum });
+        v_dir = next_v;
+    }
+    Ok(out)
+}
+
+/// Read a blocked vector back into a dense `Vec<f64>` (test helper).
+pub fn read_vector(
+    fs: &dyn FileSystem,
+    dir: &HPath,
+    num_partitions: usize,
+    n: usize,
+    block: usize,
+) -> Result<Vec<f64>> {
+    let mut out = vec![0.0; n];
+    for p in 0..num_partitions {
+        let path = dir.join(&hmr_api::io::part_file_name(p));
+        if !fs.exists(&path) {
+            continue;
+        }
+        let recs: Vec<(BlockKey, MatVecValue)> =
+            hmr_api::io::seqfile::read_seq_file(fs, &path)?;
+        for (k, v) in recs {
+            let MatVecValue::V(vals) = v else {
+                return Err(HmrError::Serde("expected V block".into()));
+            };
+            let i = k.0 .0 as usize;
+            out[i * block..i * block + vals.0.len()].copy_from_slice(&vals.0);
+        }
+    }
+    Ok(out)
+}
+
+/// Dense reference multiply for correctness checks on small instances.
+pub fn reference_multiply(
+    fs: &dyn FileSystem,
+    g_dir: &HPath,
+    v: &[f64],
+    n: usize,
+    block: usize,
+    num_partitions: usize,
+) -> Result<Vec<f64>> {
+    let mut y = vec![0.0; n];
+    for p in 0..num_partitions {
+        let path = g_dir.join(&hmr_api::io::part_file_name(p));
+        if !fs.exists(&path) {
+            continue;
+        }
+        let recs: Vec<(BlockKey, MatVecValue)> =
+            hmr_api::io::seqfile::read_seq_file(fs, &path)?;
+        for (k, val) in recs {
+            let MatVecValue::G(g) = val else {
+                continue;
+            };
+            let (i, j) = (k.0 .0 as usize, k.1 .0 as usize);
+            let x = &v[j * block..(j * block + g.cols as usize)];
+            let part = g.multiply(x);
+            for (r, pv) in part.iter().enumerate() {
+                y[i * block + r] += pv;
+            }
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3r::M3REngine;
+    use simdfs::SimDfs;
+    use simgrid::{Cluster, CostModel};
+
+    #[test]
+    fn csc_block_roundtrip_and_multiply() {
+        // 3x3 block: [[1,0,2],[0,3,0],[0,0,4]]
+        let b = CscBlock::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (1, 1, 3.0), (0, 2, 2.0), (2, 2, 4.0)],
+        );
+        assert_eq!(b.nnz(), 4);
+        let y = b.multiply(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![1.0 + 6.0, 6.0, 12.0]);
+        let bytes = hmr_api::writable::to_bytes(&b);
+        assert_eq!(bytes.len(), b.serialized_size());
+        let back: CscBlock = hmr_api::writable::from_bytes(&bytes).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn matvec_value_roundtrip() {
+        for v in [
+            MatVecValue::G(CscBlock::from_triplets(2, 2, vec![(0, 0, 1.5)])),
+            MatVecValue::V(DoubleArrayWritable(vec![1.0, 2.0])),
+        ] {
+            let bytes = hmr_api::writable::to_bytes(&v);
+            assert_eq!(bytes.len(), v.serialized_size());
+            let back: MatVecValue = hmr_api::writable::from_bytes(&bytes).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    fn setup(nodes: usize) -> (Cluster, SimDfs) {
+        let cluster = Cluster::new(nodes, CostModel::default());
+        let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+        (cluster, fs)
+    }
+
+    #[test]
+    fn three_iterations_match_dense_reference_on_m3r() {
+        let (cluster, fs) = setup(4);
+        let (n, block, parts) = (40, 10, 4);
+        generate_matvec_input(&fs, &HPath::new("/g"), &HPath::new("/v"), n, block, 0.1, parts, 42)
+            .unwrap();
+        let v0 = read_vector(&fs, &HPath::new("/v"), parts, n, block).unwrap();
+        let mut expected = v0.clone();
+        for _ in 0..3 {
+            expected =
+                reference_multiply(&fs, &HPath::new("/g"), &expected, n, block, parts).unwrap();
+        }
+        let mut engine = M3REngine::new(cluster, Arc::new(fs.clone()));
+        let iters = run_matvec_iterations(
+            &mut engine,
+            &HPath::new("/g"),
+            &HPath::new("/v"),
+            &HPath::new("/w"),
+            3,
+            parts,
+            n.div_ceil(block),
+        )
+        .unwrap();
+        assert_eq!(iters.len(), 3);
+        let got = read_vector(&fs, &HPath::new("/w/v3"), parts, n, block).unwrap();
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-9 * e.abs().max(1.0), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_one_iteration() {
+        let (cluster, fs) = setup(3);
+        let (n, block, parts) = (30, 10, 3);
+        generate_matvec_input(&fs, &HPath::new("/g"), &HPath::new("/v"), n, block, 0.15, parts, 9)
+            .unwrap();
+        let v0 = read_vector(&fs, &HPath::new("/v"), parts, n, block).unwrap();
+        let expected =
+            reference_multiply(&fs, &HPath::new("/g"), &v0, n, block, parts).unwrap();
+
+        let mut hadoop = hadoop_engine::HadoopEngine::new(cluster.clone(), Arc::new(fs.clone()));
+        run_matvec_iterations(
+            &mut hadoop,
+            &HPath::new("/g"),
+            &HPath::new("/v"),
+            &HPath::new("/h"),
+            1,
+            parts,
+            n.div_ceil(block),
+        )
+        .unwrap();
+        let h = read_vector(&fs, &HPath::new("/h/v1"), parts, n, block).unwrap();
+
+        let mut m3 = M3REngine::new(cluster, Arc::new(fs.clone()));
+        run_matvec_iterations(
+            &mut m3,
+            &HPath::new("/g"),
+            &HPath::new("/v"),
+            &HPath::new("/m"),
+            1,
+            parts,
+            n.div_ceil(block),
+        )
+        .unwrap();
+        let m = read_vector(&fs, &HPath::new("/m/v1"), parts, n, block).unwrap();
+
+        for ((hv, mv), e) in h.iter().zip(&m).zip(&expected) {
+            assert!((hv - e).abs() < 1e-9 * e.abs().max(1.0));
+            assert!((hv - mv).abs() < 1e-12, "engines diverge: {hv} vs {mv}");
+        }
+    }
+
+    #[test]
+    fn sum_job_shuffles_locally_under_stability() {
+        // "The shuffle phase of the second job in each iteration can be
+        // done without any communication."
+        let (cluster, fs) = setup(4);
+        let (n, block, parts) = (40, 10, 4);
+        generate_matvec_input(&fs, &HPath::new("/g"), &HPath::new("/v"), n, block, 0.1, parts, 5)
+            .unwrap();
+        let mut engine = M3REngine::new(cluster, Arc::new(fs.clone()));
+        let iters = run_matvec_iterations(
+            &mut engine,
+            &HPath::new("/g"),
+            &HPath::new("/v"),
+            &HPath::new("/w"),
+            2,
+            parts,
+            n.div_ceil(block),
+        )
+        .unwrap();
+        for (i, it) in iters.iter().enumerate() {
+            assert_eq!(
+                it.sum
+                    .counters
+                    .task(hmr_api::counters::task_counter::REMOTE_SHUFFLED_RECORDS),
+                0,
+                "iteration {i}: sum job must shuffle locally"
+            );
+        }
+        // Iteration 2's G blocks come from the cache: G was read once.
+        assert!(
+            iters[1].product.metrics.disk_bytes_read == 0,
+            "G and V served from cache in iteration 2"
+        );
+    }
+
+    #[test]
+    fn m3r_wins_big_on_matvec() {
+        // Fig 7: "45x on some input sizes".
+        let (n, block, parts) = (60, 10, 4);
+        let run = |engine_kind: &str| -> f64 {
+            let (cluster, fs) = setup(4);
+            generate_matvec_input(
+                &fs,
+                &HPath::new("/g"),
+                &HPath::new("/v"),
+                n,
+                block,
+                0.1,
+                parts,
+                13,
+            )
+            .unwrap();
+            let iters = if engine_kind == "hadoop" {
+                let mut e = hadoop_engine::HadoopEngine::new(cluster, Arc::new(fs));
+                run_matvec_iterations(
+                    &mut e,
+                    &HPath::new("/g"),
+                    &HPath::new("/v"),
+                    &HPath::new("/w"),
+                    3,
+                    parts,
+                    n.div_ceil(block),
+                )
+                .unwrap()
+            } else {
+                let mut e = M3REngine::new(cluster, Arc::new(fs));
+                run_matvec_iterations(
+                    &mut e,
+                    &HPath::new("/g"),
+                    &HPath::new("/v"),
+                    &HPath::new("/w"),
+                    3,
+                    parts,
+                    n.div_ceil(block),
+                )
+                .unwrap()
+            };
+            iters.iter().map(|i| i.sim_time()).sum()
+        };
+        let h = run("hadoop");
+        let m = run("m3r");
+        assert!(
+            m * 10.0 < h,
+            "m3r should win by an order of magnitude: m3r {m} vs hadoop {h}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Deterministic text generation for the WordCount benchmark (§6.3).
+//!
+//! Words are drawn from a fixed vocabulary with a Zipf-flavoured skew
+//! (natural language has a heavy head), so combiners and reducers see a
+//! realistic mix of hot and cold keys.
+
+use hmr_api::error::Result;
+use hmr_api::fs::{FileSystem, HPath};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator vocabulary (stems; a numeric suffix widens the key space).
+const STEMS: &[&str] = &[
+    "the", "of", "and", "to", "in", "data", "map", "reduce", "memory", "engine",
+    "cluster", "hadoop", "shuffle", "cache", "place", "key", "value", "job",
+    "partition", "stable", "matrix", "vector", "sparse", "dense", "iterate",
+];
+
+/// Generate roughly `bytes` of line-oriented text at `path`; returns the
+/// number of words written. Deterministic in `seed`.
+pub fn generate_text(fs: &dyn FileSystem, path: &HPath, bytes: usize, seed: u64) -> Result<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(bytes + 64);
+    let mut words = 0u64;
+    let mut line_len = 0usize;
+    while out.len() < bytes {
+        // Zipf-ish: rank r chosen with probability ∝ 1/(r+1).
+        let u: f64 = rng.gen::<f64>();
+        let rank = ((STEMS.len() as f64).powf(u) - 1.0) as usize % STEMS.len();
+        let stem = STEMS[rank];
+        // A numeric suffix on cold words widens the distinct-key space.
+        if rank > STEMS.len() / 2 {
+            let suffix: u32 = rng.gen_range(0..1000);
+            out.push_str(stem);
+            out.push_str(&suffix.to_string());
+        } else {
+            out.push_str(stem);
+        }
+        words += 1;
+        line_len += 1;
+        if line_len >= 12 {
+            out.push('\n');
+            line_len = 0;
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push('\n');
+    hmr_api::fs::write_file(fs, path, out.as_bytes())?;
+    Ok(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmr_api::fs::MemFs;
+
+    #[test]
+    fn generates_requested_volume_deterministically() {
+        let fs = MemFs::new();
+        let w1 = generate_text(&fs, &HPath::new("/a"), 10_000, 7).unwrap();
+        let w2 = generate_text(&fs, &HPath::new("/b"), 10_000, 7).unwrap();
+        assert_eq!(w1, w2);
+        let a = hmr_api::fs::read_file(&fs, &HPath::new("/a")).unwrap();
+        let b = hmr_api::fs::read_file(&fs, &HPath::new("/b")).unwrap();
+        assert_eq!(a, b, "same seed, same corpus");
+        assert!(a.len() >= 10_000);
+        assert!(a.len() < 11_000, "no gross overshoot");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let fs = MemFs::new();
+        generate_text(&fs, &HPath::new("/a"), 1_000, 1).unwrap();
+        generate_text(&fs, &HPath::new("/b"), 1_000, 2).unwrap();
+        assert_ne!(
+            hmr_api::fs::read_file(&fs, &HPath::new("/a")).unwrap(),
+            hmr_api::fs::read_file(&fs, &HPath::new("/b")).unwrap()
+        );
+    }
+
+    #[test]
+    fn corpus_is_line_oriented_utf8() {
+        let fs = MemFs::new();
+        generate_text(&fs, &HPath::new("/t"), 5_000, 3).unwrap();
+        let text = String::from_utf8(hmr_api::fs::read_file(&fs, &HPath::new("/t")).unwrap())
+            .expect("valid utf8");
+        assert!(text.lines().count() > 10);
+        // The head of the Zipf distribution dominates.
+        let the_count = text.split_whitespace().filter(|w| *w == "the").count();
+        assert!(the_count > 20, "hot word appears often: {the_count}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Teams: the fast multi-place coordination primitive M3R uses in place of
+//! Hadoop's jobtracker + heartbeat machinery (paper §1, advantage 2; §5.1).
+//!
+//! The only collective the engine needs is `barrier`: "No reducer is allowed
+//! to run until globally all shuffle messages have been sent." A [`Team`]
+//! also offers an all-reduce over `u64` (used for counter aggregation),
+//! built on the same rendezvous.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct TeamState {
+    size: usize,
+    arrived: usize,
+    generation: u64,
+    /// Accumulator for the current round's all-reduce.
+    acc: u64,
+    /// Result of the previous completed round.
+    result: u64,
+}
+
+/// A barrier/all-reduce team over `size` participants. Cloneable; all clones
+/// coordinate the same rendezvous. Unlike `std::sync::Barrier` it supports
+/// carrying a reduction value through the rendezvous.
+#[derive(Clone)]
+pub struct Team {
+    state: Arc<(Mutex<TeamState>, Condvar)>,
+}
+
+impl Team {
+    /// A team of `size` participants (size ≥ 1).
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "a team needs at least one member");
+        Team {
+            state: Arc::new((
+                Mutex::new(TeamState {
+                    size,
+                    arrived: 0,
+                    generation: 0,
+                    acc: 0,
+                    result: 0,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.state.0.lock().size
+    }
+
+    /// Block until all `size` participants have called `barrier`.
+    pub fn barrier(&self) {
+        self.all_reduce_sum(0);
+    }
+
+    /// Barrier carrying a sum-reduction: every participant contributes
+    /// `value`; all receive the total once everyone has arrived.
+    pub fn all_reduce_sum(&self, value: u64) -> u64 {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        st.acc += value;
+        st.arrived += 1;
+        if st.arrived == st.size {
+            st.result = st.acc;
+            st.acc = 0;
+            st.arrived = 0;
+            st.generation += 1;
+            cvar.notify_all();
+            st.result
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                cvar.wait(&mut st);
+            }
+            st.result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_member_barrier_returns_immediately() {
+        let t = Team::new(1);
+        t.barrier();
+        assert_eq!(t.all_reduce_sum(42), 42);
+    }
+
+    #[test]
+    fn barrier_blocks_until_all_arrive() {
+        let t = Team::new(4);
+        let phase = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                let phase = Arc::clone(&phase);
+                s.spawn(move || {
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    t.barrier();
+                    // After the barrier, everyone must have incremented.
+                    assert_eq!(phase.load(Ordering::SeqCst), 4);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn all_reduce_sums_across_members() {
+        let t = Team::new(3);
+        let results: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (1..=3u64)
+                .map(|v| {
+                    let t = t.clone();
+                    s.spawn(move || t.all_reduce_sum(v * 10))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results, vec![60, 60, 60]);
+    }
+
+    #[test]
+    fn team_is_reusable_across_generations() {
+        let t = Team::new(2);
+        for round in 0..50u64 {
+            let (a, b) = std::thread::scope(|s| {
+                let t1 = t.clone();
+                let t2 = t.clone();
+                let h1 = s.spawn(move || t1.all_reduce_sum(round));
+                let h2 = s.spawn(move || t2.all_reduce_sum(round + 1));
+                (h1.join().unwrap(), h2.join().unwrap())
+            });
+            assert_eq!(a, 2 * round + 1);
+            assert_eq!(b, 2 * round + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_member_team_rejected() {
+        let _ = Team::new(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's flagship workload (§3, §6.2): iterated sparse-matrix ×
+//! dense-vector multiplication — "the core computation inside PageRank" —
+//! showing how partition stability, the key/value cache, temporary outputs
+//! and broadcast de-duplication compose on M3R.
+//!
+//! ```sh
+//! cargo run --release --example iterative_matvec
+//! ```
+
+use std::sync::Arc;
+
+use hmr_api::counters::task_counter;
+use hmr_api::HPath;
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+use workloads::matvec::{
+    generate_matvec_input, read_vector, row_partitioner, run_matvec_iterations,
+};
+
+const N: usize = 2_000;
+const BLOCK: usize = 100;
+const PARTS: usize = 8;
+const ITERS: usize = 3;
+
+fn main() {
+    let cluster = Cluster::new(PARTS, CostModel::default());
+    let dfs = SimDfs::new(cluster.clone());
+    generate_matvec_input(
+        &dfs,
+        &HPath::new("/g"),
+        &HPath::new("/v"),
+        N,
+        BLOCK,
+        0.01,
+        PARTS,
+        42,
+    )
+    .unwrap();
+
+    let mut engine = m3r::M3REngine::new(cluster.clone(), Arc::new(dfs.clone()));
+
+    // One-off: bring the Hadoop-laid-out data into M3R's stable layout
+    // (§6.1.1). After this, G never moves again.
+    let rep_g =
+        m3r::repartition(&mut engine, &HPath::new("/g"), &HPath::new("/gs"), PARTS, row_partitioner)
+            .unwrap();
+    let rep_v =
+        m3r::repartition(&mut engine, &HPath::new("/v"), &HPath::new("/vs"), PARTS, row_partitioner)
+            .unwrap();
+    println!(
+        "repartitioning (one-off): G {:.2}s, V {:.2}s",
+        rep_g.sim_time, rep_v.sim_time
+    );
+    cluster.reset();
+
+    let iters = run_matvec_iterations(
+        &mut engine,
+        &HPath::new("/gs"),
+        &HPath::new("/vs"),
+        &HPath::new("/work"),
+        ITERS,
+        PARTS,
+        N.div_ceil(BLOCK),
+    )
+    .unwrap();
+
+    println!("\niter  job        sim_time  disk_read  net_bytes  remote_recs  dedup_hits");
+    for (i, it) in iters.iter().enumerate() {
+        for (name, r) in [("product", &it.product), ("sum    ", &it.sum)] {
+            println!(
+                "  {i}   {name}  {:7.3}s  {:9}  {:9}  {:11}  {}",
+                r.sim_time,
+                r.metrics.disk_bytes_read,
+                r.metrics.net_bytes,
+                r.counters.task(task_counter::REMOTE_SHUFFLED_RECORDS),
+                r.counters.get(m3r::M3R_COUNTER_GROUP, "DEDUP_HITS"),
+            );
+        }
+    }
+
+    // What the paper promises: the sum job never communicates, G never
+    // leaves its place, and after iteration 1 nothing touches the disk
+    // except the final output.
+    for it in &iters {
+        assert_eq!(it.sum.counters.task(task_counter::REMOTE_SHUFFLED_RECORDS), 0);
+    }
+    let v = read_vector(&dfs, &HPath::new(format!("/work/v{ITERS}")), PARTS, N, BLOCK).unwrap();
+    println!(
+        "\nfinal |V| entries: {} (‖V‖₁ = {:.4})",
+        v.len(),
+        v.iter().map(|x| x.abs()).sum::<f64>()
+    );
+    println!("sum-job shuffles were 100% local across all iterations ✓");
+}

@@ -1,0 +1,33 @@
+//! # m3r-repro — reproduction of *M3R: Increased Performance for In-Memory
+//! Hadoop Jobs* (Shinnar, Cunningham, Herta, Saraswat; PVLDB 5(12), 2012)
+//!
+//! This umbrella crate re-exports the workspace so examples and integration
+//! tests can reach every layer:
+//!
+//! * [`simgrid`] — the simulated cluster substrate (nodes, clocks, cost
+//!   model, metrics);
+//! * [`x10rt`] — the X10-style runtime (places, `at`/`finish`, teams,
+//!   de-duplicating serialization);
+//! * [`hmr_api`] — the Hadoop MapReduce API surface plus M3R's
+//!   backward-compatible extensions;
+//! * [`simdfs`] — the simulated HDFS;
+//! * [`kvstore`] — M3R's distributed in-memory key/value store (§5.2);
+//! * [`hadoop_engine`] — the baseline engine (§3.1), the paper's comparator;
+//! * [`m3r`] — **the paper's contribution**: the in-memory engine (§3.2–5);
+//! * [`sysml`] — the mini SystemML runtime and its three benchmark
+//!   algorithms (§6.4);
+//! * [`workloads`] — WordCount, the shuffle microbenchmark, and blocked
+//!   sparse matvec (§6.1–6.3).
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results of every figure.
+
+pub use hadoop_engine;
+pub use hmr_api;
+pub use kvstore;
+pub use m3r;
+pub use simdfs;
+pub use simgrid;
+pub use sysml;
+pub use workloads;
+pub use x10rt;

@@ -1,0 +1,176 @@
+//! The resilience trade-off (paper §1, §3.2): the Hadoop engine restarts
+//! failed tasks and finishes the job; M3R — "the engine will fail if any
+//! node goes down – it does not recover" — surfaces the failure, but its
+//! places survive for subsequent jobs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hmr_api::collect::OutputCollector;
+use hmr_api::conf::JobConf;
+use hmr_api::counters::TaskContext;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::io::seqfile::{read_seq_file, write_seq_file};
+use hmr_api::io::{InputFormat, OutputFormat, SequenceFileInputFormat, SequenceFileOutputFormat};
+use hmr_api::job::{Engine, JobDef};
+use hmr_api::task::{IdentityReducer, TaskMapper, TaskReducer};
+use hmr_api::writable::{IntWritable, Text};
+use hmr_api::HPath;
+use parking_lot::Mutex;
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+
+/// A mapper that fails the first `failures_per_task` attempts of each task.
+struct FlakyMapper {
+    attempts: Arc<Mutex<HashMap<String, usize>>>,
+    failures_per_task: usize,
+}
+
+impl TaskMapper<IntWritable, Text, IntWritable, Text> for FlakyMapper {
+    fn map(
+        &mut self,
+        key: Arc<IntWritable>,
+        value: Arc<Text>,
+        out: &mut dyn OutputCollector<IntWritable, Text>,
+        ctx: &mut TaskContext,
+    ) -> Result<()> {
+        let mut attempts = self.attempts.lock();
+        let n = attempts.entry(ctx.task_id().to_string()).or_insert(0);
+        if *n < self.failures_per_task {
+            *n += 1;
+            return Err(HmrError::Io(format!(
+                "injected fault on attempt {n} of {}",
+                ctx.task_id()
+            )));
+        }
+        drop(attempts);
+        out.collect(key, value)
+    }
+}
+
+/// Identity job with fault injection in the map phase.
+struct FlakyJob {
+    attempts: Arc<Mutex<HashMap<String, usize>>>,
+    failures_per_task: usize,
+}
+
+impl FlakyJob {
+    fn new(failures_per_task: usize) -> Self {
+        FlakyJob {
+            attempts: Arc::new(Mutex::new(HashMap::new())),
+            failures_per_task,
+        }
+    }
+}
+
+impl JobDef for FlakyJob {
+    type K1 = IntWritable;
+    type V1 = Text;
+    type K2 = IntWritable;
+    type V2 = Text;
+    type K3 = IntWritable;
+    type V3 = Text;
+
+    fn create_mapper(
+        &self,
+        _c: &JobConf,
+    ) -> Box<dyn TaskMapper<IntWritable, Text, IntWritable, Text>> {
+        Box::new(FlakyMapper {
+            attempts: Arc::clone(&self.attempts),
+            failures_per_task: self.failures_per_task,
+        })
+    }
+    fn create_reducer(
+        &self,
+        _c: &JobConf,
+    ) -> Box<dyn TaskReducer<IntWritable, Text, IntWritable, Text>> {
+        Box::new(IdentityReducer)
+    }
+    fn input_format(&self, _c: &JobConf) -> Box<dyn InputFormat<IntWritable, Text>> {
+        Box::new(SequenceFileInputFormat::new())
+    }
+    fn output_format(&self, _c: &JobConf) -> Box<dyn OutputFormat<IntWritable, Text>> {
+        Box::new(SequenceFileOutputFormat::new())
+    }
+    fn immutable_output(&self) -> bool {
+        true
+    }
+    fn name(&self) -> &str {
+        "flaky"
+    }
+}
+
+fn setup() -> (Cluster, SimDfs) {
+    let cluster = Cluster::new(2, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+    let records: Vec<(IntWritable, Text)> = (0..10)
+        .map(|i| (IntWritable(i), Text::from(format!("v{i}"))))
+        .collect();
+    write_seq_file(&fs, &HPath::new("/in/part-00000"), &records).unwrap();
+    (cluster, fs)
+}
+
+fn conf(out: &str) -> JobConf {
+    let mut c = JobConf::new();
+    c.add_input_path(&HPath::new("/in"));
+    c.set_output_path(&HPath::new(out));
+    c.set_num_reduce_tasks(2);
+    c
+}
+
+#[test]
+fn hadoop_retries_flaky_tasks_and_finishes() {
+    let (cluster, fs) = setup();
+    let mut engine = hadoop_engine::HadoopEngine::new(cluster, Arc::new(fs.clone()));
+    // Each map task fails twice, then succeeds on the third attempt
+    // (within the default limit of 4).
+    let r = engine
+        .run_job(Arc::new(FlakyJob::new(2)), &conf("/out"))
+        .unwrap();
+    // The retries show up as extra JVM startups: 1 map task × 3 attempts
+    // + 2 reduce tasks.
+    assert_eq!(r.metrics.task_startups, 3 + 2);
+    let mut n = 0;
+    for p in 0..2 {
+        n += read_seq_file::<IntWritable, Text>(&fs, &HPath::new(format!("/out/part-{p:05}")))
+            .unwrap()
+            .len();
+    }
+    assert_eq!(n, 10, "all records survived the faults");
+}
+
+#[test]
+fn hadoop_gives_up_after_max_attempts() {
+    // "Within limits; of course if there are a large number of failures,
+    // the job controller may give up." (paper footnote 2)
+    let (cluster, fs) = setup();
+    let mut engine = hadoop_engine::HadoopEngine::new(cluster, Arc::new(fs));
+    let err = engine
+        .run_job(Arc::new(FlakyJob::new(usize::MAX)), &conf("/out"))
+        .unwrap_err();
+    assert!(matches!(err, HmrError::Io(_)));
+}
+
+#[test]
+fn m3r_does_not_retry_but_survives_for_the_next_job() {
+    let (cluster, fs) = setup();
+    let mut engine = m3r::M3REngine::new(cluster, Arc::new(fs.clone()));
+    // One injected failure is fatal to the job: "no resilience".
+    let err = engine
+        .run_job(Arc::new(FlakyJob::new(1)), &conf("/out1"))
+        .unwrap_err();
+    assert!(matches!(err, HmrError::Io(_)));
+    // But the engine (its places and cache) is intact: a healthy job runs.
+    let r = engine
+        .run_job(Arc::new(FlakyJob::new(0)), &conf("/out2"))
+        .unwrap();
+    assert_eq!(r.output_records, 10);
+    // The failed job's input was nevertheless cached during its map phase,
+    // so the follow-up even got cache hits — heap state persists across
+    // job *failures* too.
+    assert!(
+        r.counters
+            .task(hmr_api::counters::task_counter::CACHE_HIT_RECORDS)
+            > 0
+    );
+}
