@@ -1,0 +1,89 @@
+//! Wall-clock speedup of `real_parallelism` (run with `cargo run --release
+//! -p m3r-bench --bin parallel`).
+//!
+//! Simulated seconds are the paper's metric and are identical either way;
+//! this harness measures what the scoped worker pool buys in *real* time by
+//! running the fig6 shuffle microbenchmark serial vs parallel at
+//! `worker_threads ∈ {1, 2, 4, 8}`. The workload is sized so each place
+//! executes 8 map and 8 reduce tasks per wave set — enough real work
+//! (record decoding, sort, serialization) per task for threads to pay off.
+//!
+//! `compute_scale` stays at the default 0.0 so the run doubles as an
+//! end-to-end determinism check: the harness asserts bit-identical
+//! simulated seconds between the serial and parallel runs before reporting.
+//! Results are appended to `bench-results/parallel.txt`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hmr_api::HPath;
+use m3r::{M3REngine, M3ROptions};
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+use workloads::microbench::{generate_microbench_input, run_microbench};
+
+const PLACES: usize = 4;
+const PARTS: usize = 32; // 8 tasks per place
+const PAIRS: usize = 30_000;
+const VALUE_BYTES: usize = 128;
+const ITERATIONS: usize = 3;
+
+fn run(worker_threads: usize, real_parallelism: bool) -> (f64, f64) {
+    let cluster = Cluster::new(PLACES, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 22, 2);
+    generate_microbench_input(&fs, &HPath::new("/in"), PAIRS, VALUE_BYTES, PARTS, 7).unwrap();
+    let mut engine = M3REngine::with_options(
+        cluster,
+        Arc::new(fs.clone()),
+        M3ROptions {
+            worker_threads,
+            real_parallelism,
+            ..M3ROptions::default()
+        },
+    );
+    let start = Instant::now();
+    let results = run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/mb"),
+        0.5,
+        ITERATIONS,
+        PARTS,
+        true,
+        Some(&fs),
+    )
+    .unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    let sim: f64 = results.iter().map(|r| r.sim_time).sum();
+    (wall, sim)
+}
+
+fn main() {
+    let mut lines = vec![
+        "# real_parallelism wall-clock speedup (fig6 microbench, 4 places, 32 partitions,"
+            .to_string(),
+        format!(
+            "# {PAIRS} pairs x {VALUE_BYTES}B values, {ITERATIONS} iterations, remote fraction 0.5)"
+        ),
+        "workers,serial_wall_s,parallel_wall_s,speedup,sim_s".to_string(),
+    ];
+    println!("{}", lines.join("\n"));
+    for workers in [1usize, 2, 4, 8] {
+        let (serial_wall, serial_sim) = run(workers, false);
+        let (parallel_wall, parallel_sim) = run(workers, true);
+        assert_eq!(
+            serial_sim.to_bits(),
+            parallel_sim.to_bits(),
+            "simulated seconds must not depend on real_parallelism"
+        );
+        let line = format!(
+            "{workers},{serial_wall:.3},{parallel_wall:.3},{:.2},{serial_sim:.2}",
+            serial_wall / parallel_wall.max(1e-9),
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+    std::fs::create_dir_all("bench-results").unwrap();
+    std::fs::write("bench-results/parallel.txt", lines.join("\n") + "\n").unwrap();
+    println!("\nwrote bench-results/parallel.txt");
+}

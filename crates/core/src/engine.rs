@@ -18,7 +18,7 @@
 //!   `p % places`, so pipelines using a consistent partitioner never move
 //!   stable data (§3.2.2.2).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -62,6 +62,13 @@ pub struct M3ROptions {
     pub partition_stability: bool,
     /// The input/output key/value cache (§3.2.1).
     pub input_cache: bool,
+    /// Execute each wave's tasks on real OS threads (a scoped pool of up to
+    /// `worker_threads` threads per place) instead of sequentially on the
+    /// place thread. Affects wall-clock only: simulated seconds, outputs
+    /// and counters are bit-identical either way (tasks bill per-task
+    /// scratch clocks and all order-sensitive work — shuffle-stream
+    /// serialization — happens after the wave joins, in task order).
+    pub real_parallelism: bool,
 }
 
 impl Default for M3ROptions {
@@ -71,6 +78,7 @@ impl Default for M3ROptions {
             dedup: DedupMode::Full,
             partition_stability: true,
             input_cache: true,
+            real_parallelism: true,
         }
     }
 }
@@ -214,12 +222,39 @@ fn seq_file_len<K: Writable, V: Writable>(pairs: &[(Arc<K>, Arc<V>)]) -> u64 {
     n
 }
 
+/// One map task's partitioned output, routed but not yet serialized.
+///
+/// Tasks in a wave may run concurrently, so they cannot touch the
+/// place-wide `ShuffleStream`s (full de-dup spans every mapper at the
+/// place). Instead each task returns its buckets and the place thread
+/// pushes them into the streams afterwards, in task order, re-installing
+/// the task's scratch meter so serialization is billed exactly as if the
+/// task had done it inline.
+struct RoutedOutput<J: JobDef> {
+    /// Buckets staying at this place: `(partition, pairs)`.
+    local: Vec<(usize, Vec<(Arc<J::K2>, Arc<J::V2>)>)>,
+    /// Buckets headed elsewhere: `(destination place, partition, pairs)`.
+    remote: Vec<(usize, usize, Vec<(Arc<J::K2>, Arc<J::V2>)>)>,
+}
+
+impl<J: JobDef> RoutedOutput<J> {
+    fn empty() -> Self {
+        RoutedOutput {
+            local: Vec::new(),
+            remote: Vec::new(),
+        }
+    }
+}
+
 /// Cross-place state for one running job.
 struct Shared<J: JobDef> {
     /// Locally shuffled pairs: `local[place][partition]`.
     local: Vec<Mutex<HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>>>>,
-    /// Serialized remote streams awaiting each destination place.
-    streams: Vec<Mutex<Vec<Vec<u8>>>>,
+    /// Serialized remote streams: `streams[dest][src]`. Slotting by source
+    /// (instead of pushing in completion order) makes the receive order —
+    /// and with it charge order and equal-key tie order — independent of
+    /// how the place threads happen to interleave.
+    streams: Vec<Vec<Mutex<Option<Vec<u8>>>>>,
     counters: Mutex<Counters>,
     error: Mutex<Option<HmrError>>,
     output_records: AtomicU64,
@@ -229,7 +264,9 @@ impl<J: JobDef> Shared<J> {
     fn new(places: usize) -> Self {
         Shared {
             local: (0..places).map(|_| Mutex::new(HashMap::new())).collect(),
-            streams: (0..places).map(|_| Mutex::new(Vec::new())).collect(),
+            streams: (0..places)
+                .map(|_| (0..places).map(|_| Mutex::new(None)).collect())
+                .collect(),
             counters: Mutex::new(Counters::new()),
             error: Mutex::new(None),
             output_records: AtomicU64::new(0),
@@ -443,50 +480,95 @@ fn map_phase_at_place<J: JobDef>(
     let output_format = job.output_format(conf);
     let nplaces = cluster.len();
     // Streams persist across every mapper at this place: full
-    // de-duplication spans the whole place→place channel.
+    // de-duplication spans the whole place→place channel. Only the place
+    // thread touches them — worker threads return routed buckets instead.
     let mut streams: Vec<Option<ShuffleStream>> = (0..nplaces).map(|_| None).collect();
+    // Locally shuffled pairs accumulate here in task order and are
+    // published to `shared` once, after the last wave.
+    let mut local_acc: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> = HashMap::new();
 
     for wave in my_splits.chunks(opts.worker_threads) {
-        let mut wave_duration = 0.0f64;
-        for &si in wave {
-            let scratch = cluster.scratch_node(place);
-            simgrid::with_meter(Meter::new(scratch.clone()), || {
+        let (results, scratches) = simgrid::pool::run_wave(
+            cluster,
+            place,
+            opts.real_parallelism,
+            wave.to_vec(),
+            |si: usize| {
                 run_map_task(
                     place, si, job, conf, fs, &*input_format, &*output_format,
                     splits[si].as_ref(), shared, dist_cache, convert.clone(), opts,
-                    place_map, num_reducers, &mut streams,
+                    place_map, num_reducers, nplaces,
                 )
-            })?;
-            wave_duration = wave_duration.max(scratch.clock().now());
+            },
+        );
+        // Serialize each task's remote buckets into the place-wide streams
+        // in task order, billing the task's own scratch clock — the same
+        // charges, in the same stream order, as the sequential execution.
+        for (result, scratch) in results.into_iter().zip(scratches.iter()) {
+            let routed = result?;
+            simgrid::with_meter(Meter::new(scratch.clone()), || {
+                for (dest, p, bucket) in &routed.remote {
+                    let stream =
+                        streams[*dest].get_or_insert_with(|| ShuffleStream::new(opts.dedup));
+                    let before = stream.len();
+                    for (k, v) in bucket {
+                        stream.push(*p, k, v);
+                    }
+                    simgrid::meter::charge(Charge::Serialize {
+                        bytes: (stream.len() - before) as u64,
+                    });
+                }
+            });
+            for (p, bucket) in routed.local {
+                local_acc.entry(p).or_default().extend(bucket);
+            }
         }
-        node.clock().advance(wave_duration);
+        node.clock()
+            .advance(simgrid::pool::wave_duration(&scratches));
+    }
+
+    if !local_acc.is_empty() {
+        let mut local = shared.local[place].lock();
+        for (p, bucket) in local_acc {
+            local.entry(p).or_default().extend(bucket);
+        }
     }
 
     // Hand finished streams to their destinations; the network cost is
-    // charged at the receiver after the barrier.
+    // charged at the receiver after the barrier. Stream statistics are
+    // accumulated locally and merged under a single `shared.counters` lock
+    // take per place.
+    let mut stream_bytes = 0i64;
+    let mut dedup_hits = 0i64;
+    let mut dedup_retained = 0i64;
+    let mut any_stream = false;
     for (dest, slot) in streams.into_iter().enumerate() {
         if let Some(stream) = slot {
             if stream.is_empty() {
                 continue;
             }
             let (bytes, stats) = stream.finish();
-            let mut counters = shared.counters.lock();
-            counters.incr(M3R_COUNTER_GROUP, "SHUFFLE_STREAM_BYTES", bytes.len() as i64);
-            counters.incr(M3R_COUNTER_GROUP, "DEDUP_HITS", stats.dedup_hits as i64);
-            counters.incr(
-                M3R_COUNTER_GROUP,
-                "DEDUP_RETAINED_VALUES",
-                stats.values_retained as i64,
-            );
-            drop(counters);
-            shared.streams[dest].lock().push(bytes);
+            any_stream = true;
+            stream_bytes += bytes.len() as i64;
+            dedup_hits += stats.dedup_hits as i64;
+            dedup_retained += stats.values_retained as i64;
+            *shared.streams[dest][place].lock() = Some(bytes);
         }
+    }
+    if any_stream {
+        let mut counters = shared.counters.lock();
+        counters.incr(M3R_COUNTER_GROUP, "SHUFFLE_STREAM_BYTES", stream_bytes);
+        counters.incr(M3R_COUNTER_GROUP, "DEDUP_HITS", dedup_hits);
+        counters.incr(M3R_COUNTER_GROUP, "DEDUP_RETAINED_VALUES", dedup_retained);
     }
     Ok(())
 }
 
 /// One map task: cache-aware input, real mapper, optional combiner, then
-/// routing into local buckets and remote streams.
+/// routing into local and remote buckets. Safe to run concurrently with
+/// the other tasks of its wave: it only touches per-task state plus the
+/// thread-safe cache/DFS/counters, and returns its routed buckets for the
+/// place thread to serialize in task order.
 #[allow(clippy::too_many_arguments)]
 fn run_map_task<J: JobDef>(
     place: usize,
@@ -503,8 +585,8 @@ fn run_map_task<J: JobDef>(
     opts: &M3ROptions,
     place_map: PlaceMap,
     num_reducers: usize,
-    streams: &mut [Option<ShuffleStream>],
-) -> Result<()> {
+    nplaces: usize,
+) -> Result<RoutedOutput<J>> {
     let mut ctx = TaskContext::new(
         format!("m3r_m_{si:06}"),
         Arc::clone(conf),
@@ -617,44 +699,33 @@ fn run_map_task<J: JobDef>(
         )?;
         shared.output_records.fetch_add(records, Ordering::Relaxed);
         shared.counters.lock().merge(&ctx.into_counters());
-        return Ok(());
+        return Ok(RoutedOutput::empty());
     }
 
-    // ---- route: local buckets vs remote streams (§3.2.2) --------------------
+    // ---- route: local buckets vs remote buckets (§3.2.2) --------------------
+    // Serialization into the place-wide de-duplicating streams is deferred
+    // to the place thread (task order), so concurrent tasks never contend
+    // on shared serializer state.
+    let mut routed = RoutedOutput::<J>::empty();
     let mut local_n = 0i64;
     let mut remote_n = 0i64;
-    {
-        let mut local = shared.local[place].lock();
-        for (p, bucket) in parts.into_iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let dest = place_map.place_of(p, cluster_places(streams));
-            if dest == place {
-                local_n += bucket.len() as i64;
-                local.entry(p).or_default().extend(bucket);
-            } else {
-                remote_n += bucket.len() as i64;
-                let stream =
-                    streams[dest].get_or_insert_with(|| ShuffleStream::new(opts.dedup));
-                let before = stream.len();
-                for (k, v) in &bucket {
-                    stream.push(p, k, v);
-                }
-                simgrid::meter::charge(Charge::Serialize {
-                    bytes: (stream.len() - before) as u64,
-                });
-            }
+    for (p, bucket) in parts.into_iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        let dest = place_map.place_of(p, nplaces);
+        if dest == place {
+            local_n += bucket.len() as i64;
+            routed.local.push((p, bucket));
+        } else {
+            remote_n += bucket.len() as i64;
+            routed.remote.push((dest, p, bucket));
         }
     }
     ctx.incr_task_counter(task_counter::LOCAL_SHUFFLED_RECORDS, local_n);
     ctx.incr_task_counter(task_counter::REMOTE_SHUFFLED_RECORDS, remote_n);
     shared.counters.lock().merge(&ctx.into_counters());
-    Ok(())
-}
-
-fn cluster_places(streams: &[Option<ShuffleStream>]) -> usize {
-    streams.len()
+    Ok(routed)
 }
 
 /// Everything one place does during the reduce phase.
@@ -676,9 +747,19 @@ fn reduce_phase_at_place<J: JobDef>(
     let output_format = job.output_format(conf);
 
     // Receive remote streams: network + deserialization, charged here — the
-    // receiving place does this work after the shuffle barrier.
-    let incoming: Vec<Vec<u8>> = std::mem::take(&mut *shared.streams[place].lock());
-    let mut remote: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> = HashMap::new();
+    // receiving place does this work after the shuffle barrier. The
+    // partition map is pre-sized from the reducer count, and per-partition
+    // vectors are reserved from a counting pass over each decoded stream,
+    // so ingest never rehashes or regrows per pair.
+    let incoming: Vec<Vec<u8>> = shared.streams[place]
+        .iter()
+        .filter_map(|slot| slot.lock().take())
+        .collect();
+    let my_parts: Vec<usize> = (0..num_reducers)
+        .filter(|p| place_map.place_of(*p, nplaces) == place)
+        .collect();
+    let mut remote: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> =
+        HashMap::with_capacity(my_parts.len());
     simgrid::with_meter(Meter::new(node.clone()), || -> Result<()> {
         for bytes in &incoming {
             simgrid::meter::charge(Charge::NetTransfer {
@@ -687,34 +768,54 @@ fn reduce_phase_at_place<J: JobDef>(
             simgrid::meter::charge(Charge::Deserialize {
                 bytes: bytes.len() as u64,
             });
-            for (p, k, v) in decode_stream::<J::K2, J::V2>(bytes)? {
-                remote.entry(p).or_default().push((k, v));
+            let records = decode_stream::<J::K2, J::V2>(bytes)?;
+            let mut counts: HashMap<usize, usize> = HashMap::with_capacity(my_parts.len());
+            for (p, _, _) in &records {
+                *counts.entry(*p).or_insert(0) += 1;
+            }
+            for (p, n) in counts {
+                remote.entry(p).or_default().reserve(n);
+            }
+            for (p, k, v) in records {
+                remote
+                    .get_mut(&p)
+                    .expect("reserved in the counting pass")
+                    .push((k, v));
             }
         }
         Ok(())
     })?;
     let mut local = std::mem::take(&mut *shared.local[place].lock());
 
-    let my_parts: Vec<usize> = (0..num_reducers)
-        .filter(|p| place_map.place_of(*p, nplaces) == place)
-        .collect();
-
     for wave in my_parts.chunks(opts.worker_threads) {
-        let mut wave_duration = 0.0f64;
-        for &p in wave {
-            let mut pairs = local.remove(&p).unwrap_or_default();
-            if let Some(r) = remote.remove(&p) {
-                pairs.extend(r);
-            }
-            let scratch = cluster.scratch_node(place);
-            simgrid::with_meter(Meter::new(scratch.clone()), || {
+        // Gather each partition's input on the place thread (pointer moves,
+        // no charges), then run the wave's reducers on the worker pool.
+        let inputs: Vec<(usize, Vec<(Arc<J::K2>, Arc<J::V2>)>)> = wave
+            .iter()
+            .map(|&p| {
+                let mut pairs = local.remove(&p).unwrap_or_default();
+                if let Some(r) = remote.remove(&p) {
+                    pairs.extend(r);
+                }
+                (p, pairs)
+            })
+            .collect();
+        let (results, scratches) = simgrid::pool::run_wave(
+            cluster,
+            place,
+            opts.real_parallelism,
+            inputs,
+            |(p, pairs): (usize, Vec<(Arc<J::K2>, Arc<J::V2>)>)| {
                 run_reduce_partition(
                     place, p, job, conf, fs, &*output_format, pairs, shared, dist_cache,
                 )
-            })?;
-            wave_duration = wave_duration.max(scratch.clock().now());
+            },
+        );
+        for result in results {
+            result?;
         }
-        node.clock().advance(wave_duration);
+        node.clock()
+            .advance(simgrid::pool::wave_duration(&scratches));
     }
     Ok(())
 }
@@ -724,7 +825,8 @@ fn reduce_phase_at_place<J: JobDef>(
 /// §4.2.2) stream straight to their writers and bypass the cache.
 struct ReduceCollector<'a, K, V> {
     main: Vec<(Arc<K>, Arc<V>)>,
-    named: HashMap<String, Box<dyn hmr_api::io::RecordWriter<K, V>>>,
+    /// Ordered so `close()` visits (and charges) writers deterministically.
+    named: BTreeMap<String, Box<dyn hmr_api::io::RecordWriter<K, V>>>,
     format: &'a dyn OutputFormat<K, V>,
     fs: &'a CachingFs,
     conf: &'a JobConf,
@@ -798,7 +900,7 @@ fn run_reduce_partition<J: JobDef>(
 
     let mut out = ReduceCollector {
         main: Vec::new(),
-        named: HashMap::new(),
+        named: BTreeMap::new(),
         format: output_format,
         fs,
         conf,

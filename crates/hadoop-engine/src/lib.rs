@@ -57,6 +57,11 @@ pub struct EngineOptions {
     /// fails, the job controller has enough information to restart the
     /// computation ... there is no need to restart the entire job."
     pub max_task_attempts: usize,
+    /// Execute each tasktracker wave's slots on real OS threads instead of
+    /// sequentially. Wall-clock only: simulated seconds, outputs and
+    /// counters are bit-identical either way — every task bills its own
+    /// scratch clock and results are folded in task order.
+    pub real_parallelism: bool,
 }
 
 impl Default for EngineOptions {
@@ -66,6 +71,7 @@ impl Default for EngineOptions {
             reduce_slots_per_node: 8,
             sort_buffer_bytes: 1 << 20,
             max_task_attempts: 4,
+            real_parallelism: true,
         }
     }
 }
@@ -104,7 +110,7 @@ impl HadoopEngine {
 /// with lazy named side outputs (`MultipleOutputs`).
 struct WriterCollector<'a, K, V> {
     writer: Box<dyn RecordWriter<K, V>>,
-    named: std::collections::HashMap<String, Box<dyn RecordWriter<K, V>>>,
+    named: std::collections::BTreeMap<String, Box<dyn RecordWriter<K, V>>>,
     format: &'a dyn OutputFormat<K, V>,
     fs: &'a dyn FileSystem,
     conf: &'a JobConf,
@@ -219,17 +225,22 @@ impl Engine for HadoopEngine {
         for (node_id, tasks) in per_node.iter().enumerate() {
             let node = cluster.node(node_id);
             // Tasks run in slot-parallel waves; the tasktracker receives
-            // work one heartbeat at a time.
+            // work one heartbeat at a time. With `real_parallelism` the
+            // slots are real scoped threads; either way each task bills its
+            // own scratch clock and results are folded in task order.
             for wave in tasks.chunks(self.opts.map_slots_per_node) {
                 node.charge(Charge::Heartbeat);
-                let mut wave_duration = 0.0f64;
-                for &task in wave {
-                    let scratch = cluster.scratch_node(node_id);
-                    // "If a node fails, the job controller ... restart[s]
-                    // the computation" — failed attempts are retried (each
-                    // paying startup again) up to the attempt limit.
-                    let out = retry_attempts(self.opts.max_task_attempts, || {
-                        simgrid::with_meter(Meter::new(scratch.clone()), || {
+                let (results, scratches) = simgrid::pool::run_wave(
+                    &cluster,
+                    node_id,
+                    self.opts.real_parallelism,
+                    wave.to_vec(),
+                    |task: usize| {
+                        // "If a node fails, the job controller ... restart[s]
+                        // the computation" — failed attempts are retried
+                        // (each paying startup again) up to the attempt
+                        // limit.
+                        retry_attempts(self.opts.max_task_attempts, || {
                             run_map_task(
                                 &*job,
                                 &conf,
@@ -244,13 +255,17 @@ impl Engine for HadoopEngine {
                                 self.opts.sort_buffer_bytes,
                             )
                         })
-                    })?;
+                        .map(|out| (task, out))
+                    },
+                );
+                for result in results {
+                    let (task, out) = result?;
                     counters.merge(&out.counters);
                     output_records += out.output_records;
                     map_outputs[task] = out.segments;
-                    wave_duration = wave_duration.max(scratch.clock().now());
                 }
-                node.clock().advance(wave_duration);
+                node.clock()
+                    .advance(simgrid::pool::wave_duration(&scratches));
             }
         }
 
@@ -272,29 +287,33 @@ impl Engine for HadoopEngine {
                 let node = cluster.node(node_id);
                 for wave in parts.chunks(self.opts.reduce_slots_per_node) {
                     node.charge(Charge::Heartbeat);
-                    let mut wave_duration = 0.0f64;
-                    for &partition in wave {
-                        let scratch = cluster.scratch_node(node_id);
-                        let (task_counters, recs) =
+                    let (results, scratches) = simgrid::pool::run_wave(
+                        &cluster,
+                        node_id,
+                        self.opts.real_parallelism,
+                        wave.to_vec(),
+                        |partition: usize| {
                             retry_attempts(self.opts.max_task_attempts, || {
-                                simgrid::with_meter(Meter::new(scratch.clone()), || {
-                                    run_reduce_task(
-                                        &*job,
-                                        &conf,
-                                        &*self.fs,
-                                        &*output_format,
-                                        &map_outputs,
-                                        partition,
-                                        &dist_cache,
-                                        self.opts.sort_buffer_bytes,
-                                    )
-                                })
-                            })?;
+                                run_reduce_task(
+                                    &*job,
+                                    &conf,
+                                    &*self.fs,
+                                    &*output_format,
+                                    &map_outputs,
+                                    partition,
+                                    &dist_cache,
+                                    self.opts.sort_buffer_bytes,
+                                )
+                            })
+                        },
+                    );
+                    for result in results {
+                        let (task_counters, recs) = result?;
                         counters.merge(&task_counters);
                         output_records += recs;
-                        wave_duration = wave_duration.max(scratch.clock().now());
                     }
-                    node.clock().advance(wave_duration);
+                    node.clock()
+                        .advance(simgrid::pool::wave_duration(&scratches));
                 }
             }
         }
@@ -377,7 +396,7 @@ fn run_map_task<J: JobDef>(
         let writer = output_format.record_writer(fs, conf, task_idx)?;
         let mut sink = WriterCollector {
             writer,
-            named: std::collections::HashMap::new(),
+            named: std::collections::BTreeMap::new(),
             format: output_format,
             fs,
             conf,
@@ -505,7 +524,7 @@ fn run_reduce_task<J: JobDef>(
     let writer = output_format.record_writer(fs, conf, partition)?;
     let mut sink = WriterCollector {
         writer,
-        named: std::collections::HashMap::new(),
+        named: std::collections::BTreeMap::new(),
         format: output_format,
         fs,
         conf,
@@ -620,6 +639,7 @@ mod tests {
                 reduce_slots_per_node: 2,
                 sort_buffer_bytes: 1 << 16,
                 max_task_attempts: 4,
+                real_parallelism: true,
             },
         );
         (engine, fs)

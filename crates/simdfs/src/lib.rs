@@ -179,9 +179,22 @@ impl FsWriter for DfsWriter {
             }
             chunks.push(data);
         }
-        for chunk in chunks {
+        // Placement is seeded by (path, chunk index), not the block id: the
+        // global id counter's values depend on the order concurrent writers
+        // reach it, and replica layout (hence later read locality) must not.
+        let path_seed = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.target.as_str().hash(&mut h);
+            h.finish()
+        };
+        for (chunk_idx, chunk) in chunks.into_iter().enumerate() {
             let id = inner.next_block.fetch_add(1, Ordering::Relaxed);
-            let replicas = inner.policy.place(local, id, inner.replication);
+            let replicas = inner.policy.place(
+                local,
+                path_seed.wrapping_add(chunk_idx as u64),
+                inner.replication,
+            );
             let len = chunk.len() as u64;
             // Local disk write for the first replica; the replication
             // pipeline moves the block over the network once per extra

@@ -26,9 +26,11 @@ pub mod cluster;
 pub mod cost;
 pub mod meter;
 pub mod metrics;
+pub mod pool;
 
 pub use clock::Clock;
 pub use cluster::{Cluster, Node, NodeId};
 pub use cost::{Charge, CostModel};
 pub use meter::{current_meter, with_meter, Meter};
 pub use metrics::Metrics;
+pub use pool::{run_wave, wave_duration};
