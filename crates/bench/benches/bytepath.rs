@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks of the zero-copy byte path: pooled buffer
+//! serialization, raw-key sorting, and streaming decode. These measure the
+//! *real-time* throughput of the mechanisms the `bytepath` harness measures
+//! end-to-end (simulated seconds are unchanged by all of them — that is the
+//! point).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use hmr_api::comparator::{sort_pairs_by, KeyComparator};
+use hmr_api::writable::{BytesWritable, IntWritable, Text};
+use m3r::shuffle::{decode_stream, ShuffleStream};
+use simgrid::BufPool;
+use x10rt::serialize::DedupMode;
+
+const RECORDS: usize = 2_000;
+const VALUE_BYTES: usize = 256;
+
+fn fill_stream(stream: &mut ShuffleStream, payloads: &[Arc<BytesWritable>]) {
+    for (i, v) in payloads.iter().enumerate() {
+        stream.push(i % 8, &Arc::new(IntWritable(i as i32)), v);
+    }
+}
+
+/// Serializing into pooled buffers vs growing a fresh buffer every time.
+/// The pooled loop models a long-lived place: the buffer it finishes is the
+/// sole handle, so it reclaims with its grown capacity intact.
+fn bench_serialize_pooled_vs_fresh(c: &mut Criterion) {
+    let payloads: Vec<Arc<BytesWritable>> = (0..RECORDS)
+        .map(|i| Arc::new(BytesWritable(vec![i as u8; VALUE_BYTES])))
+        .collect();
+    let bytes_per_iter = {
+        let mut s = ShuffleStream::new(DedupMode::Full);
+        fill_stream(&mut s, &payloads);
+        s.finish().0.len() as u64
+    };
+    let mut g = c.benchmark_group("bytepath_serialize");
+    g.throughput(Throughput::Bytes(bytes_per_iter));
+    g.bench_function("fresh_buffer", |b| {
+        b.iter(|| {
+            let mut s = ShuffleStream::new(DedupMode::Full);
+            fill_stream(&mut s, &payloads);
+            black_box(s.finish().0.len())
+        })
+    });
+    let pool = BufPool::new();
+    g.bench_function("pooled_buffer", |b| {
+        b.iter(|| {
+            let mut s = ShuffleStream::with_buffer(pool.get(1024), DedupMode::Full);
+            fill_stream(&mut s, &payloads);
+            let (bytes, _) = s.finish();
+            let n = bytes.len();
+            pool.reclaim(bytes);
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+/// Sorting with the raw-key fast path (memcmp on cached prefixes,
+/// `sort_unstable`) vs the boxed comparator on the same keys. The custom
+/// comparator is semantically identical to natural order, so only the
+/// mechanism differs.
+fn bench_raw_key_sort(c: &mut Criterion) {
+    // Sized inside the raw path's regime: below ~4k pairs `sort_pairs_by`
+    // takes the decoded compare, whose fixed cost wins on small runs. The
+    // raw path's edge widens with scale, and a wide edge is what survives
+    // measurement noise on a busy box.
+    const SORT_RECORDS: usize = 500_000;
+    let base: Vec<(Arc<Text>, Arc<IntWritable>)> = (0..SORT_RECORDS)
+        .map(|i| {
+            (
+                Arc::new(Text::from(format!("key-{:06}", (i * 7919) % SORT_RECORDS))),
+                Arc::new(IntWritable(i as i32)),
+            )
+        })
+        .collect();
+    let natural: KeyComparator<Text> = KeyComparator::natural();
+    let custom: KeyComparator<Text> = KeyComparator::new(|a: &Text, b: &Text| a.cmp(b));
+    let mut g = c.benchmark_group("bytepath_sort");
+    g.throughput(Throughput::Elements(SORT_RECORDS as u64));
+    g.sample_size(10);
+    // The clone of 100k Arc pairs is setup, not the work under test: keep
+    // it out of the timed region or it drowns the sort delta.
+    g.bench_function("raw_key_sort", |b| {
+        b.iter_with_setup(
+            || base.clone(),
+            |mut pairs| {
+                sort_pairs_by(&mut pairs, &natural);
+                black_box(pairs.len())
+            },
+        )
+    });
+    g.bench_function("comparator_sort", |b| {
+        b.iter_with_setup(
+            || base.clone(),
+            |mut pairs| {
+                sort_pairs_by(&mut pairs, &custom);
+                black_box(pairs.len())
+            },
+        )
+    });
+    g.finish();
+}
+
+/// Streaming decode: the borrowing iterator over shared `Bytes` never
+/// materializes the record `Vec` the old API returned.
+fn bench_decode_stream_iteration(c: &mut Criterion) {
+    let payloads: Vec<Arc<BytesWritable>> = (0..RECORDS)
+        .map(|i| Arc::new(BytesWritable(vec![i as u8; VALUE_BYTES])))
+        .collect();
+    let mut s = ShuffleStream::new(DedupMode::Full);
+    fill_stream(&mut s, &payloads);
+    let (bytes, _) = s.finish();
+    let mut g = c.benchmark_group("bytepath_decode");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("iterate_records", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for rec in decode_stream::<IntWritable, BytesWritable>(bytes.clone()) {
+                let (_, _, v) = rec.unwrap();
+                n += v.0.len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("collect_records", |b| {
+        b.iter(|| {
+            let recs: Vec<_> = decode_stream::<IntWritable, BytesWritable>(bytes.clone())
+                .collect::<Result<_, _>>()
+                .unwrap();
+            black_box(recs.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serialize_pooled_vs_fresh,
+    bench_raw_key_sort,
+    bench_decode_stream_iteration
+);
+criterion_main!(benches);

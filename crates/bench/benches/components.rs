@@ -163,7 +163,7 @@ fn bench_sortbuffer(c: &mut Criterion) {
                 )
                 .unwrap();
             }
-            black_box(buf.finish().unwrap())
+            black_box(buf.finish(None).unwrap())
         })
     });
     g.finish();

@@ -1,0 +1,178 @@
+//! Wall-clock effect of the zero-copy byte path's pooled buffers (run with
+//! `cargo run --release -p m3r-bench --bin bytepath`).
+//!
+//! Simulated seconds are priced on byte counts and are identical whether a
+//! shuffle buffer came from a pool or the allocator; this harness measures
+//! what buffer recycling buys in *real* time by running the fig6 shuffle
+//! microbenchmark with `buffer_pool` off vs on, on both engines. Each run
+//! chains several iterations so the pool is warm from iteration 2 onward —
+//! the long-lived-place story the pool exists for.
+//!
+//! Each measurement runs in a fresh child process (the binary re-execs
+//! itself): allocator state left behind by one configuration otherwise
+//! bleeds into the next and swamps the effect being measured. The parent
+//! keeps the best of three runs per configuration and asserts bit-identical
+//! simulated seconds between pool-off and pool-on before reporting.
+//! Results go to `bench-results/bytepath.txt`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hadoop_engine::{EngineOptions, HadoopEngine};
+use hmr_api::HPath;
+use m3r::{M3REngine, M3ROptions};
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+use workloads::microbench::{generate_microbench_input, run_microbench};
+
+// Sized so the per-destination shuffle buffers are multi-megabyte: that is
+// the regime the pool targets, where a cold buffer means mmap + page-fault
+// churn on every wave and a warm one means none.
+const PLACES: usize = 4;
+const PARTS: usize = 16;
+const PAIRS: usize = 120_000;
+const VALUE_BYTES: usize = 1024;
+const ITERATIONS: usize = 4;
+const RUNS: usize = 3;
+
+fn setup() -> (Cluster, SimDfs) {
+    let cluster = Cluster::new(PLACES, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 22, 2);
+    generate_microbench_input(&fs, &HPath::new("/in"), PAIRS, VALUE_BYTES, PARTS, 7).unwrap();
+    (cluster, fs)
+}
+
+fn run_m3r(buffer_pool: bool) -> (f64, f64, u64, u64) {
+    let (cluster, fs) = setup();
+    let mut engine = M3REngine::with_options(
+        cluster,
+        Arc::new(fs.clone()),
+        M3ROptions {
+            buffer_pool,
+            ..M3ROptions::default()
+        },
+    );
+    let start = Instant::now();
+    let results = run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/mb"),
+        0.75,
+        ITERATIONS,
+        PARTS,
+        true,
+        Some(&fs),
+    )
+    .unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    let sim: f64 = results.iter().map(|r| r.sim_time).sum();
+    let m = engine.cluster().metrics();
+    (wall, sim, m.pool_hits(), m.pool_misses())
+}
+
+fn run_hadoop(buffer_pool: bool) -> (f64, f64, u64, u64) {
+    let (cluster, fs) = setup();
+    let mut engine = HadoopEngine::with_options(
+        cluster,
+        Arc::new(fs.clone()),
+        EngineOptions {
+            buffer_pool,
+            ..EngineOptions::default()
+        },
+    );
+    let start = Instant::now();
+    let results = run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/mb"),
+        0.75,
+        ITERATIONS,
+        PARTS,
+        false,
+        Some(&fs),
+    )
+    .unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    let sim: f64 = results.iter().map(|r| r.sim_time).sum();
+    let m = engine.cluster().metrics();
+    (wall, sim, m.pool_hits(), m.pool_misses())
+}
+
+/// Child mode: one measurement, machine-readable on stdout.
+fn child(engine: &str, pool: bool) {
+    let (wall, sim, hits, misses) = match engine {
+        "m3r" => run_m3r(pool),
+        "hadoop" => run_hadoop(pool),
+        other => panic!("unknown engine {other:?}"),
+    };
+    println!("{wall} {} {hits} {misses}", sim.to_bits());
+}
+
+/// Spawn a fresh child for one (engine, pool) measurement.
+fn measure(engine: &str, pool: bool) -> (f64, u64, u64, u64) {
+    let exe = std::env::current_exe().unwrap();
+    let out = std::process::Command::new(exe)
+        .arg(engine)
+        .arg(if pool { "on" } else { "off" })
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "child {engine}/{pool} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let mut it = text.split_whitespace();
+    let wall: f64 = it.next().unwrap().parse().unwrap();
+    let sim_bits: u64 = it.next().unwrap().parse().unwrap();
+    let hits: u64 = it.next().unwrap().parse().unwrap();
+    let misses: u64 = it.next().unwrap().parse().unwrap();
+    (wall, sim_bits, hits, misses)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 {
+        child(&args[1], args[2] == "on");
+        return;
+    }
+    let mut lines = vec![
+        format!(
+            "# buffer_pool wall-clock effect (fig6 microbench, {PLACES} places, {PARTS} partitions,"
+        ),
+        format!(
+            "# {PAIRS} pairs x {VALUE_BYTES}B values, {ITERATIONS} iterations, remote fraction 0.75,"
+        ),
+        format!("# best of {RUNS} fresh-process runs per configuration)"),
+        "engine,pool_off_wall_s,pool_on_wall_s,speedup,sim_s,pool_hits,pool_misses".to_string(),
+    ];
+    println!("{}", lines.join("\n"));
+    for engine in ["m3r", "hadoop"] {
+        let mut off_wall = f64::INFINITY;
+        let mut on_wall = f64::INFINITY;
+        let (mut off_bits, mut on_bits) = (0u64, 0u64);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for _ in 0..RUNS {
+            let (w, bits, _, _) = measure(engine, false);
+            off_wall = off_wall.min(w);
+            off_bits = bits;
+            let (w, bits, h, m) = measure(engine, true);
+            on_wall = on_wall.min(w);
+            (on_bits, hits, misses) = (bits, h, m);
+        }
+        assert_eq!(
+            off_bits, on_bits,
+            "{engine}: simulated seconds must not depend on buffer_pool"
+        );
+        let sim = f64::from_bits(on_bits);
+        let line = format!(
+            "{engine},{off_wall:.3},{on_wall:.3},{:.2},{sim:.2},{hits},{misses}",
+            off_wall / on_wall.max(1e-9),
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+    std::fs::create_dir_all("bench-results").unwrap();
+    std::fs::write("bench-results/bytepath.txt", lines.join("\n") + "\n").unwrap();
+    println!("\nwrote bench-results/bytepath.txt");
+}

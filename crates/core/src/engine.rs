@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use hmr_api::comparator::{group_spans, sort_pairs_by};
@@ -35,7 +36,7 @@ use hmr_api::io::{part_file_name, InputSplit, OutputFormat};
 use hmr_api::job::{Engine, JobDef, JobResult};
 use hmr_api::writable::{write_vu64, Writable};
 use simgrid::cost::Charge;
-use simgrid::{Cluster, Meter};
+use simgrid::{BufPool, Cluster, Meter};
 use x10rt::serialize::DedupMode;
 use x10rt::World;
 
@@ -69,6 +70,11 @@ pub struct M3ROptions {
     /// scratch clocks and all order-sensitive work — shuffle-stream
     /// serialization — happens after the wave joins, in task order).
     pub real_parallelism: bool,
+    /// Draw shuffle-stream buffers from a per-place [`BufPool`] that
+    /// persists across waves and jobs (the long-lived-place buffer reuse of
+    /// §3.2.2/§5). Wall-clock only: stream bytes, charges and outputs are
+    /// bit-identical with the pool off.
+    pub buffer_pool: bool,
 }
 
 impl Default for M3ROptions {
@@ -79,6 +85,7 @@ impl Default for M3ROptions {
             partition_stability: true,
             input_cache: true,
             real_parallelism: true,
+            buffer_pool: true,
         }
     }
 }
@@ -92,7 +99,10 @@ pub struct M3REngine {
     job_seq: u64,
     /// Distributed-cache bytes survive across jobs in the long-lived
     /// places (nothing in M3R restarts between jobs).
-    dist_memo: Mutex<HashMap<HPath, Arc<Vec<u8>>>>,
+    dist_memo: Mutex<HashMap<HPath, Bytes>>,
+    /// One buffer pool per place, persisted across jobs — the shuffle
+    /// streams of job *n+1* reuse the grown buffers of job *n*.
+    pools: Vec<Arc<BufPool>>,
 }
 
 impl M3REngine {
@@ -107,6 +117,9 @@ impl M3REngine {
         assert!(opts.worker_threads >= 1);
         let places = cluster.len();
         let cache = KvCache::new(places);
+        let pools = (0..places)
+            .map(|_| Arc::new(BufPool::with_metrics(cluster.metrics().clone())))
+            .collect();
         M3REngine {
             world: Arc::new(World::new(places)),
             fs: Arc::new(CachingFs::new(fs, cache)),
@@ -114,7 +127,13 @@ impl M3REngine {
             opts,
             job_seq: 0,
             dist_memo: Mutex::new(HashMap::new()),
+            pools,
         }
+    }
+
+    /// The per-place shuffle buffer pools (test/bench introspection).
+    pub fn buffer_pools(&self) -> &[Arc<BufPool>] {
+        &self.pools
     }
 
     /// The caching filesystem view jobs should use (also exposes the
@@ -246,6 +265,18 @@ impl<J: JobDef> RoutedOutput<J> {
     }
 }
 
+/// One finished shuffle stream in flight between two places.
+struct StreamPayload {
+    /// The encoded records, shared by refcount — the receiver decodes
+    /// straight out of this buffer and reclaims it into its own pool once
+    /// the last record handle drops.
+    bytes: Bytes,
+    /// `(partition, records)` published by the sender, sorted by partition,
+    /// so the receiver reserves exact ingest capacity without a counting
+    /// pass over the decoded stream.
+    counts: Vec<(usize, u64)>,
+}
+
 /// Cross-place state for one running job.
 struct Shared<J: JobDef> {
     /// Locally shuffled pairs: `local[place][partition]`.
@@ -254,7 +285,7 @@ struct Shared<J: JobDef> {
     /// (instead of pushing in completion order) makes the receive order —
     /// and with it charge order and equal-key tie order — independent of
     /// how the place threads happen to interleave.
-    streams: Vec<Vec<Mutex<Option<Vec<u8>>>>>,
+    streams: Vec<Vec<Mutex<Option<StreamPayload>>>>,
     counters: Mutex<Counters>,
     error: Mutex<Option<HmrError>>,
     output_records: AtomicU64,
@@ -332,15 +363,13 @@ impl Engine for M3REngine {
             let mut entries = Vec::new();
             for path in conf.cache_files() {
                 let bytes = match memo.get(&path) {
-                    Some(b) => Arc::clone(b),
+                    Some(b) => b.clone(),
                     None => {
                         let b = simgrid::with_meter(
                             Meter::new(cluster.node(0).clone()),
-                            || -> Result<Arc<Vec<u8>>> {
-                                Ok(Arc::new(fs.open(&path)?.read_all()?))
-                            },
+                            || -> Result<Bytes> { fs.open(&path)?.read_all() },
                         )?;
-                        memo.insert(path.clone(), Arc::clone(&b));
+                        memo.insert(path.clone(), b.clone());
                         b
                     }
                 };
@@ -393,10 +422,12 @@ impl Engine for M3REngine {
                 let dist_cache = Arc::clone(&dist_cache);
                 let convert = convert.clone();
                 let opts = opts.clone();
+                let pool = Arc::clone(&self.pools[place]);
                 fin.at(place, move |_pc| {
                     let r = map_phase_at_place(
                         place, &job, &conf, &fs, &cluster, &splits, &per_place[place],
                         &shared, &dist_cache, convert, &opts, place_map, num_reducers,
+                        &pool,
                     );
                     shared.record(r);
                 });
@@ -418,10 +449,11 @@ impl Engine for M3REngine {
                     let shared = Arc::clone(&shared);
                     let dist_cache = Arc::clone(&dist_cache);
                     let opts = opts.clone();
+                    let pool = Arc::clone(&self.pools[place]);
                     fin.at(place, move |_pc| {
                         let r = reduce_phase_at_place(
                             place, &job, &conf, &fs, &cluster, &shared, &dist_cache,
-                            &opts, place_map, num_reducers,
+                            &opts, place_map, num_reducers, &pool,
                         );
                         shared.record(r);
                     });
@@ -474,6 +506,7 @@ fn map_phase_at_place<J: JobDef>(
     opts: &M3ROptions,
     place_map: PlaceMap,
     num_reducers: usize,
+    pool: &Arc<BufPool>,
 ) -> Result<()> {
     let node = cluster.node(place);
     let input_format = job.input_format(conf);
@@ -482,7 +515,12 @@ fn map_phase_at_place<J: JobDef>(
     // Streams persist across every mapper at this place: full
     // de-duplication spans the whole place→place channel. Only the place
     // thread touches them — worker threads return routed buckets instead.
+    // With the pool on they write into recycled buffers from this place's
+    // free-list (warm capacity from earlier jobs).
     let mut streams: Vec<Option<ShuffleStream>> = (0..nplaces).map(|_| None).collect();
+    // Records per (destination, partition), published with each stream so
+    // receivers reserve exact ingest capacity.
+    let mut stream_counts: Vec<HashMap<usize, u64>> = vec![HashMap::new(); nplaces];
     // Locally shuffled pairs accumulate here in task order and are
     // published to `shared` once, after the last wave.
     let mut local_acc: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> = HashMap::new();
@@ -508,8 +546,20 @@ fn map_phase_at_place<J: JobDef>(
             let routed = result?;
             simgrid::with_meter(Meter::new(scratch.clone()), || {
                 for (dest, p, bucket) in &routed.remote {
-                    let stream =
-                        streams[*dest].get_or_insert_with(|| ShuffleStream::new(opts.dedup));
+                    let stream = streams[*dest].get_or_insert_with(|| {
+                        if opts.buffer_pool {
+                            ShuffleStream::with_buffer(pool.get_any(1024), opts.dedup)
+                        } else {
+                            ShuffleStream::new(opts.dedup)
+                        }
+                    });
+                    // Reserve from `serialized_size` hints (plus framing)
+                    // so the bucket appends without re-growing mid-push.
+                    let hint: usize = bucket
+                        .iter()
+                        .map(|(k, v)| k.serialized_size() + v.serialized_size() + 16)
+                        .sum();
+                    stream.reserve(hint);
                     let before = stream.len();
                     for (k, v) in bucket {
                         stream.push(*p, k, v);
@@ -517,6 +567,7 @@ fn map_phase_at_place<J: JobDef>(
                     simgrid::meter::charge(Charge::Serialize {
                         bytes: (stream.len() - before) as u64,
                     });
+                    *stream_counts[*dest].entry(*p).or_insert(0) += bucket.len() as u64;
                 }
             });
             for (p, bucket) in routed.local {
@@ -552,7 +603,10 @@ fn map_phase_at_place<J: JobDef>(
             stream_bytes += bytes.len() as i64;
             dedup_hits += stats.dedup_hits as i64;
             dedup_retained += stats.values_retained as i64;
-            *shared.streams[dest][place].lock() = Some(bytes);
+            let mut counts: Vec<(usize, u64)> =
+                std::mem::take(&mut stream_counts[dest]).into_iter().collect();
+            counts.sort_unstable();
+            *shared.streams[dest][place].lock() = Some(StreamPayload { bytes, counts });
         }
     }
     if any_stream {
@@ -640,10 +694,13 @@ fn run_map_task<J: JobDef>(
 
     // ---- run the mapper ---------------------------------------------------
     let num_parts = num_reducers.max(1);
-    let mut buffer = MapOutputBuffer::new(
+    // The input sequence is already materialized, so its length pre-sizes
+    // the partition buckets (uniform spread assumption).
+    let mut buffer = MapOutputBuffer::with_capacity_hint(
         num_parts,
         job.partitioner(conf),
         job.immutable_output(),
+        pairs.pairs.len(),
     );
     let mut mapper = job.create_mapper(conf);
     let compute_start = Instant::now();
@@ -741,6 +798,7 @@ fn reduce_phase_at_place<J: JobDef>(
     opts: &M3ROptions,
     place_map: PlaceMap,
     num_reducers: usize,
+    pool: &Arc<BufPool>,
 ) -> Result<()> {
     let node = cluster.node(place);
     let nplaces = cluster.len();
@@ -748,10 +806,11 @@ fn reduce_phase_at_place<J: JobDef>(
 
     // Receive remote streams: network + deserialization, charged here — the
     // receiving place does this work after the shuffle barrier. The
-    // partition map is pre-sized from the reducer count, and per-partition
-    // vectors are reserved from a counting pass over each decoded stream,
-    // so ingest never rehashes or regrows per pair.
-    let incoming: Vec<Vec<u8>> = shared.streams[place]
+    // partition map is pre-sized from the reducer count, per-partition
+    // vectors are reserved from the sender-published counts, and records
+    // stream lazily out of the shared buffer — no intermediate Vec of
+    // decoded records is ever built.
+    let incoming: Vec<StreamPayload> = shared.streams[place]
         .iter()
         .filter_map(|slot| slot.lock().take())
         .collect();
@@ -761,26 +820,27 @@ fn reduce_phase_at_place<J: JobDef>(
     let mut remote: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> =
         HashMap::with_capacity(my_parts.len());
     simgrid::with_meter(Meter::new(node.clone()), || -> Result<()> {
-        for bytes in &incoming {
+        for payload in incoming {
             simgrid::meter::charge(Charge::NetTransfer {
-                bytes: bytes.len() as u64,
+                bytes: payload.bytes.len() as u64,
             });
             simgrid::meter::charge(Charge::Deserialize {
-                bytes: bytes.len() as u64,
+                bytes: payload.bytes.len() as u64,
             });
-            let records = decode_stream::<J::K2, J::V2>(bytes)?;
-            let mut counts: HashMap<usize, usize> = HashMap::with_capacity(my_parts.len());
-            for (p, _, _) in &records {
-                *counts.entry(*p).or_insert(0) += 1;
+            for &(p, n) in &payload.counts {
+                remote.entry(p).or_default().reserve(n as usize);
             }
-            for (p, n) in counts {
-                remote.entry(p).or_default().reserve(n);
-            }
-            for (p, k, v) in records {
+            for rec in decode_stream::<J::K2, J::V2>(payload.bytes.clone()) {
+                let (p, k, v) = rec?;
                 remote
                     .get_mut(&p)
-                    .expect("reserved in the counting pass")
+                    .expect("reserved from the published counts")
                     .push((k, v));
+            }
+            // The iterator's refcount dropped with the loop; if this was
+            // the last handle the buffer returns to this place's pool.
+            if opts.buffer_pool {
+                pool.reclaim(payload.bytes);
             }
         }
         Ok(())

@@ -10,8 +10,10 @@
 //!   (§3.2.2.3) into one stream per (source place, destination place) and
 //!   moved over the network after the map barrier.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
+use bytes::{Bytes, BytesMut};
 use hmr_api::collect::OutputCollector;
 use hmr_api::error::{HmrError, Result};
 use hmr_api::partition::Partitioner;
@@ -42,11 +44,27 @@ where
         partitioner: Box<dyn Partitioner<K, V>>,
         immutable: bool,
     ) -> Self {
+        Self::with_capacity_hint(num_partitions, partitioner, immutable, 0)
+    }
+
+    /// Like [`MapOutputBuffer::new`], but pre-sizes every partition bucket
+    /// assuming `expected_records` spread uniformly — the allocation-churn
+    /// fix for the repeated doubling a map task otherwise pays per bucket.
+    pub fn with_capacity_hint(
+        num_partitions: usize,
+        partitioner: Box<dyn Partitioner<K, V>>,
+        immutable: bool,
+        expected_records: usize,
+    ) -> Self {
+        let num_partitions = num_partitions.max(1);
+        let per_part = expected_records.div_ceil(num_partitions);
         MapOutputBuffer {
             partitioner,
-            num_partitions: num_partitions.max(1),
+            num_partitions,
             immutable,
-            parts: (0..num_partitions.max(1)).map(|_| Vec::new()).collect(),
+            parts: (0..num_partitions)
+                .map(|_| Vec::with_capacity(per_part))
+                .collect(),
             emitted: 0,
         }
     }
@@ -103,6 +121,20 @@ impl ShuffleStream {
         }
     }
 
+    /// A stream writing into `buf` (typically drawn from a
+    /// [`simgrid::BufPool`]) so warm capacity is reused across waves.
+    pub fn with_buffer(buf: BytesMut, mode: DedupMode) -> Self {
+        ShuffleStream {
+            ser: Serializer::with_buffer(buf, mode),
+        }
+    }
+
+    /// Reserve room for `additional` encoded bytes (a `serialized_size`
+    /// hint plus framing), so pushes append without re-growing.
+    pub fn reserve(&mut self, additional: usize) {
+        self.ser.reserve(additional);
+    }
+
     /// Append one `(partition, key, value)` record.
     pub fn push<K: Writable + Send + Sync, V: Writable + Send + Sync>(
         &mut self,
@@ -125,8 +157,10 @@ impl ShuffleStream {
         self.ser.is_empty()
     }
 
-    /// Finish the stream: bytes + stats.
-    pub fn finish(self) -> (Vec<u8>, x10rt::serialize::SerStats) {
+    /// Finish the stream: a refcounted handle to the encoded bytes plus
+    /// stats. The handle is shared (not copied) with every reader; once the
+    /// last reader drops it the buffer can return to a pool.
+    pub fn finish(self) -> (Bytes, x10rt::serialize::SerStats) {
         self.ser.finish()
     }
 }
@@ -135,7 +169,9 @@ fn ser_err(e: SerError) -> HmrError {
     HmrError::Serde(e.to_string())
 }
 
-fn read_writable<T: Writable>(d: &mut Deserializer<'_>) -> std::result::Result<T, SerError> {
+fn read_writable<T: Writable, D: AsRef<[u8]>>(
+    d: &mut Deserializer<D>,
+) -> std::result::Result<T, SerError> {
     let mut br = ByteReader::new(d.rest());
     let v = T::read_from(&mut br).map_err(|e| SerError::Custom(e.to_string()))?;
     let used = br.position();
@@ -143,23 +179,55 @@ fn read_writable<T: Writable>(d: &mut Deserializer<'_>) -> std::result::Result<T
     Ok(v)
 }
 
-/// Decode a whole shuffle stream into `(partition, key, value)` records.
-/// Back-references reconstruct aliases: a value broadcast to many
-/// partitions deserializes into many `Arc`s of one allocation.
-pub fn decode_stream<K, V>(bytes: &[u8]) -> Result<Vec<(usize, Arc<K>, Arc<V>)>>
+/// Iterator over the `(partition, key, value)` records of one shuffle
+/// stream. Owns a refcount on the stream storage, so records decode
+/// straight out of the shared buffer — no intermediate `Vec` of records is
+/// ever materialized on the reduce side.
+pub struct StreamRecords<K, V> {
+    d: Deserializer<Bytes>,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Iterator for StreamRecords<K, V>
 where
     K: Writable + Send + Sync,
     V: Writable + Send + Sync,
 {
-    let mut d = Deserializer::new(bytes);
-    let mut out = Vec::new();
-    while d.remaining() > 0 {
-        let p = d.read_u32().map_err(ser_err)? as usize;
-        let k = d.read_arc_with(read_writable::<K>).map_err(ser_err)?;
-        let v = d.read_arc_with(read_writable::<V>).map_err(ser_err)?;
-        out.push((p, k, v));
+    type Item = Result<(usize, Arc<K>, Arc<V>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.d.remaining() == 0 {
+            return None;
+        }
+        let d = &mut self.d;
+        let rec = (|| {
+            let p = d.read_u32().map_err(ser_err)? as usize;
+            let k = d.read_arc_with(read_writable::<K, _>).map_err(ser_err)?;
+            let v = d.read_arc_with(read_writable::<V, _>).map_err(ser_err)?;
+            Ok((p, k, v))
+        })();
+        if rec.is_err() {
+            // A malformed stream cannot be resynchronized; stop after
+            // reporting the error once.
+            self.d.poison();
+        }
+        Some(rec)
     }
-    Ok(out)
+}
+
+/// Decode a shuffle stream lazily. Back-references reconstruct aliases: a
+/// value broadcast to many partitions decodes into many `Arc`s of one
+/// allocation. The iterator holds a refcount on `bytes`; dropping it (and
+/// every other handle) lets a pool reclaim the buffer.
+pub fn decode_stream<K, V>(bytes: Bytes) -> StreamRecords<K, V>
+where
+    K: Writable + Send + Sync,
+    V: Writable + Send + Sync,
+{
+    StreamRecords {
+        d: Deserializer::new(bytes),
+        _marker: PhantomData,
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +281,9 @@ mod tests {
             );
         }
         let (bytes, _) = s.finish();
-        let recs = decode_stream::<IntWritable, BytesWritable>(&bytes).unwrap();
+        let recs: Vec<_> = decode_stream::<IntWritable, BytesWritable>(bytes)
+            .collect::<Result<_>>()
+            .unwrap();
         assert_eq!(recs.len(), 10);
         for (i, (p, k, v)) in recs.iter().enumerate() {
             assert_eq!(*p, i % 3);
@@ -237,7 +307,9 @@ mod tests {
             "~1 payload + framing, got {}",
             bytes.len()
         );
-        let recs = decode_stream::<IntWritable, BytesWritable>(&bytes).unwrap();
+        let recs: Vec<_> = decode_stream::<IntWritable, BytesWritable>(bytes)
+            .collect::<Result<_>>()
+            .unwrap();
         assert_eq!(recs.len(), 20);
         for w in recs.windows(2) {
             assert!(
@@ -260,7 +332,9 @@ mod tests {
         let (bytes, stats) = s.finish();
         assert_eq!(stats.dedup_hits, 9, "value sent once, 9 backrefs");
         assert!(stats.values_retained <= 4, "O(1) retention");
-        let recs = decode_stream::<IntWritable, BytesWritable>(&bytes).unwrap();
+        let recs: Vec<_> = decode_stream::<IntWritable, BytesWritable>(bytes)
+            .collect::<Result<_>>()
+            .unwrap();
         assert_eq!(recs.len(), 10);
         for w in recs.windows(2) {
             assert!(Arc::ptr_eq(&w[0].2, &w[1].2));
@@ -271,9 +345,11 @@ mod tests {
     fn truncated_stream_is_an_error() {
         let mut s = ShuffleStream::new(DedupMode::Off);
         s.push(0, &Arc::new(IntWritable(1)), &Arc::new(BytesWritable(vec![1])));
-        let (mut bytes, _) = s.finish();
-        bytes.truncate(bytes.len() - 1);
-        assert!(decode_stream::<IntWritable, BytesWritable>(&bytes).is_err());
+        let (bytes, _) = s.finish();
+        let bytes = bytes.slice(..bytes.len() - 1);
+        let res: Result<Vec<_>> =
+            decode_stream::<IntWritable, BytesWritable>(bytes).collect();
+        assert!(res.is_err());
     }
 
     #[test]
@@ -333,7 +409,9 @@ mod prop_tests {
                 expect.push((*p, key.0, value.0.clone()));
             }
             let (bytes, stats) = stream.finish();
-            let decoded = decode_stream::<IntWritable, BytesWritable>(&bytes).unwrap();
+            let decoded: Vec<_> = decode_stream::<IntWritable, BytesWritable>(bytes)
+                .collect::<Result<_>>()
+                .unwrap();
             prop_assert_eq!(decoded.len(), expect.len());
             for ((p, k, v), (ep, ek, ev)) in decoded.iter().zip(&expect) {
                 prop_assert_eq!(p, ep);

@@ -29,6 +29,7 @@ pub mod sortbuffer;
 use std::sync::Arc;
 use std::time::Instant;
 
+use bytes::Bytes;
 use hmr_api::collect::{MapCollector, OutputCollector};
 use hmr_api::conf::JobConf;
 use hmr_api::counters::{task_counter, Counters, TaskContext};
@@ -39,7 +40,7 @@ use hmr_api::io::{InputFormat, InputSplit, OutputFormat, RecordWriter};
 use hmr_api::job::{Engine, JobDef, JobResult};
 use hmr_api::writable::Writable;
 use simgrid::cost::Charge;
-use simgrid::{Cluster, Meter, NodeId};
+use simgrid::{BufPool, Cluster, Meter, NodeId};
 
 use sortbuffer::{decode_segment, SortBuffer};
 
@@ -62,6 +63,10 @@ pub struct EngineOptions {
     /// counters are bit-identical either way — every task bills its own
     /// scratch clock and results are folded in task order.
     pub real_parallelism: bool,
+    /// Draw map-output segment buffers from a per-node [`BufPool`] and
+    /// reclaim them after the job. Wall-clock only: segment bytes, charges
+    /// and outputs are bit-identical with the pool off.
+    pub buffer_pool: bool,
 }
 
 impl Default for EngineOptions {
@@ -72,6 +77,7 @@ impl Default for EngineOptions {
             sort_buffer_bytes: 1 << 20,
             max_task_attempts: 4,
             real_parallelism: true,
+            buffer_pool: true,
         }
     }
 }
@@ -81,6 +87,9 @@ pub struct HadoopEngine {
     cluster: Cluster,
     fs: Arc<dyn FileSystem>,
     opts: EngineOptions,
+    /// One segment-buffer pool per node. The engine object is long-lived
+    /// even though simulated tasks are not, so buffers recycle across jobs.
+    pools: Vec<Arc<BufPool>>,
 }
 
 impl HadoopEngine {
@@ -92,7 +101,20 @@ impl HadoopEngine {
     /// An engine with explicit options.
     pub fn with_options(cluster: Cluster, fs: Arc<dyn FileSystem>, opts: EngineOptions) -> Self {
         assert!(opts.map_slots_per_node >= 1 && opts.reduce_slots_per_node >= 1);
-        HadoopEngine { cluster, fs, opts }
+        let pools = (0..cluster.len())
+            .map(|_| Arc::new(BufPool::with_metrics(cluster.metrics().clone())))
+            .collect();
+        HadoopEngine {
+            cluster,
+            fs,
+            opts,
+            pools,
+        }
+    }
+
+    /// The per-node segment buffer pools (test/bench introspection).
+    pub fn buffer_pools(&self) -> &[Arc<BufPool>] {
+        &self.pools
     }
 
     /// The simulated cluster.
@@ -159,8 +181,9 @@ impl<K: Writable, V: Writable> OutputCollector<K, V> for WriterCollector<'_, K, 
 
 /// Outcome of one map task.
 struct MapTaskOutput {
-    /// Per-partition serialized segments (empty for map-only jobs).
-    segments: Vec<Vec<u8>>,
+    /// Per-partition serialized segments (empty for map-only jobs), held
+    /// by refcount and read in place by reduce tasks.
+    segments: Vec<Bytes>,
     counters: Counters,
     output_records: u64,
 }
@@ -219,7 +242,7 @@ impl Engine for HadoopEngine {
         }
 
         let mut counters = Counters::new();
-        let mut map_outputs: Vec<Vec<Vec<u8>>> = (0..splits.len()).map(|_| Vec::new()).collect();
+        let mut map_outputs: Vec<Vec<Bytes>> = (0..splits.len()).map(|_| Vec::new()).collect();
         let mut output_records = 0u64;
 
         for (node_id, tasks) in per_node.iter().enumerate() {
@@ -253,6 +276,7 @@ impl Engine for HadoopEngine {
                                 convert.clone(),
                                 &dist_cache,
                                 self.opts.sort_buffer_bytes,
+                                self.opts.buffer_pool.then(|| &*self.pools[node_id]),
                             )
                         })
                         .map(|out| (task, out))
@@ -318,6 +342,18 @@ impl Engine for HadoopEngine {
             }
         }
 
+        // Recycle finished segment buffers into their producing node's
+        // pool — the next job's sort buffers start warm. (A handle that a
+        // straggling reader still holds simply isn't reclaimed.)
+        if self.opts.buffer_pool {
+            for (task, segments) in map_outputs.into_iter().enumerate() {
+                let pool = &self.pools[assigns[task]];
+                for seg in segments {
+                    pool.reclaim(seg);
+                }
+            }
+        }
+
         // Job commit: _SUCCESS marker in the output directory.
         if let Some(out_dir) = output_format.output_path(&conf) {
             let marker = out_dir.join("_SUCCESS");
@@ -374,6 +410,7 @@ fn run_map_task<J: JobDef>(
     convert: Option<hmr_api::job::MapOnlyConvert<J::K2, J::V2, J::K3, J::V3>>,
     dist_cache: &Arc<DistCache>,
     sort_buffer_bytes: usize,
+    pool: Option<&BufPool>,
 ) -> Result<MapTaskOutput> {
     simgrid::meter::charge(Charge::TaskStartup);
     let mut ctx = TaskContext::new(
@@ -454,7 +491,7 @@ fn run_map_task<J: JobDef>(
         task_counter::MAP_OUTPUT_RECORDS,
         buffer.emitted_records() as i64,
     );
-    let (segments, combiner_counters) = buffer.finish()?;
+    let (segments, combiner_counters) = buffer.finish(pool)?;
     let mut counters = ctx.into_counters();
     counters.merge(&combiner_counters);
     Ok(MapTaskOutput {
@@ -473,7 +510,7 @@ fn run_reduce_task<J: JobDef>(
     conf: &Arc<JobConf>,
     fs: &dyn FileSystem,
     output_format: &dyn OutputFormat<J::K3, J::V3>,
-    map_outputs: &[Vec<Vec<u8>>],
+    map_outputs: &[Vec<Bytes>],
     partition: usize,
     dist_cache: &Arc<DistCache>,
     sort_buffer_bytes: usize,
@@ -640,6 +677,7 @@ mod tests {
                 sort_buffer_bytes: 1 << 16,
                 max_task_attempts: 4,
                 real_parallelism: true,
+                buffer_pool: true,
             },
         );
         (engine, fs)

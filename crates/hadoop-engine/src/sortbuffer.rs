@@ -12,15 +12,17 @@
 
 use std::sync::Arc;
 
+use bytes::{Bytes, BytesMut};
 use hmr_api::collect::{OutputCollector, VecCollector};
-use hmr_api::comparator::KeyComparator;
+use hmr_api::comparator::{apply_permutation, build_raw_keys, raw_prefix, KeyComparator};
 use hmr_api::counters::{task_counter, TaskContext};
 use hmr_api::error::{HmrError, Result};
 use hmr_api::partition::Partitioner;
 use hmr_api::task::TaskReducer;
-use hmr_api::writable::{ByteReader, Writable};
+use hmr_api::writable::{ByteReader, ByteSink, Writable};
 use simgrid::cost::Charge;
 use simgrid::meter;
+use simgrid::BufPool;
 
 /// One buffered record: partition, decoded key (sort convenience), and the
 /// authoritative serialized bytes.
@@ -37,17 +39,21 @@ impl<K> Rec<K> {
     }
 }
 
-/// Frame one serialized record onto `out`.
-pub fn frame_record(out: &mut Vec<u8>, kbytes: &[u8], vbytes: &[u8]) {
+/// Frame one serialized record onto any byte sink (a `Vec<u8>` scratch or
+/// a pooled `BytesMut` segment buffer).
+pub fn frame_record<S: ByteSink + ?Sized>(out: &mut S, kbytes: &[u8], vbytes: &[u8]) {
     hmr_api::writable::write_vu64(out, kbytes.len() as u64);
     hmr_api::writable::write_vu64(out, vbytes.len() as u64);
-    out.extend_from_slice(kbytes);
-    out.extend_from_slice(vbytes);
+    out.put_slice(kbytes);
+    out.put_slice(vbytes);
 }
 
-/// Decode every framed record in `bytes` into typed pairs.
-pub fn decode_segment<K: Writable, V: Writable>(bytes: &[u8]) -> Result<Vec<(Arc<K>, Arc<V>)>> {
-    let mut r = ByteReader::new(bytes);
+/// Decode every framed record in `bytes` into typed pairs. Accepts any
+/// byte storage — a borrowed slice or a refcounted [`Bytes`] segment.
+pub fn decode_segment<K: Writable, V: Writable>(
+    bytes: impl AsRef<[u8]>,
+) -> Result<Vec<(Arc<K>, Arc<V>)>> {
+    let mut r = ByteReader::new(bytes.as_ref());
     let mut out = Vec::new();
     while r.remaining() > 0 {
         let klen = r.read_vu64()? as usize;
@@ -130,6 +136,35 @@ where
         meter::charge(Charge::Sort {
             records: run.len() as u64,
         });
+        // Hadoop's RawComparator fast path: keys whose serialized form is
+        // memcmp-ordered sort on cached raw prefixes with `sort_unstable`,
+        // no boxed comparator call per comparison. Ties break on the
+        // original index, reproducing the stable sort's permutation
+        // exactly — output bytes are identical either way.
+        if self.sort_cmp.is_natural() && run.len() > 1 {
+            if let Some((arena, spans)) = build_raw_keys(run.iter().map(|r| &r.key)) {
+                let raw = |i: u32| {
+                    let (s, e) = spans[i as usize];
+                    &arena[s as usize..e as usize]
+                };
+                // (partition, prefix, index) entries: most comparisons
+                // resolve on the in-register fields; equal prefixes fall
+                // back to the full raw form, then the original index,
+                // reproducing the stable sort's permutation exactly.
+                let mut order: Vec<(u32, u64, u32)> = (0..run.len() as u32)
+                    .map(|i| (run[i as usize].partition, raw_prefix(raw(i)), i))
+                    .collect();
+                order.sort_unstable_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then_with(|| a.1.cmp(&b.1))
+                        .then_with(|| raw(a.2).cmp(raw(b.2)))
+                        .then(a.2.cmp(&b.2))
+                });
+                let order: Vec<u32> = order.into_iter().map(|(_, _, i)| i).collect();
+                apply_permutation(&mut run, &order);
+                return run;
+            }
+        }
         let cmp = self.sort_cmp.clone();
         run.sort_by(|a, b| {
             a.partition
@@ -228,8 +263,10 @@ where
 
     /// Final spill + merge into per-partition serialized segments, sorted by
     /// the job's sort comparator within each partition. Also returns the
-    /// combiner's counters.
-    pub fn finish(mut self) -> Result<(Vec<Vec<u8>>, hmr_api::Counters)> {
+    /// combiner's counters. Segment buffers come from `pool` when one is
+    /// given and are frozen into refcounted [`Bytes`] handles that reduce
+    /// tasks read without copying.
+    pub fn finish(mut self, pool: Option<&BufPool>) -> Result<(Vec<Bytes>, hmr_api::Counters)> {
         self.spill()?;
         let num_spills = self.spills.len();
         let spills = std::mem::take(&mut self.spills);
@@ -250,20 +287,75 @@ where
         let merged = spills
             .into_iter()
             .fold(Vec::new(), |acc, run| merge_two(acc, run, &cmp));
-        let mut segments: Vec<Vec<u8>> = vec![Vec::new(); self.num_partitions];
+        // Exact per-partition sizes (payload + up to 10 framing bytes per
+        // length varint) so each segment buffer is allocated once.
+        let mut sizes = vec![0usize; self.num_partitions];
+        for r in &merged {
+            sizes[r.partition as usize] += r.len() + 20;
+        }
+        let mut segments: Vec<BytesMut> = sizes
+            .iter()
+            .map(|&n| match pool {
+                Some(p) => p.get(n),
+                None => BytesMut::with_capacity(n),
+            })
+            .collect();
         for r in &merged {
             frame_record(&mut segments[r.partition as usize], &r.kbytes, &r.vbytes);
         }
-        Ok((segments, self.combiner_ctx.into_counters()))
+        Ok((
+            segments.into_iter().map(BytesMut::freeze).collect(),
+            self.combiner_ctx.into_counters(),
+        ))
     }
 }
 
-fn merge_two<K>(a: Vec<Rec<K>>, b: Vec<Rec<K>>, cmp: &KeyComparator<K>) -> Vec<Rec<K>> {
+fn merge_two<K: Writable>(a: Vec<Rec<K>>, b: Vec<Rec<K>>, cmp: &KeyComparator<K>) -> Vec<Rec<K>> {
     if a.is_empty() {
         return b;
     }
     if b.is_empty() {
         return a;
+    }
+    // Raw fast path mirroring `sort_run`: when both runs' keys have a
+    // memcmp-ordered serialized form, the merge compares raw prefixes. The
+    // tie rule (equal → take from `a`) is unchanged, so the merged order is
+    // bit-identical to the comparator merge.
+    if cmp.is_natural() {
+        if let (Some((aa, asp)), Some((ba, bsp))) = (
+            build_raw_keys(a.iter().map(|r| &r.key)),
+            build_raw_keys(b.iter().map(|r| &r.key)),
+        ) {
+            let raw_a = |i: usize| {
+                let (s, e) = asp[i];
+                &aa[s as usize..e as usize]
+            };
+            let raw_b = |j: usize| {
+                let (s, e) = bsp[j];
+                &ba[s as usize..e as usize]
+            };
+            let (alen, blen) = (a.len(), b.len());
+            let mut out = Vec::with_capacity(alen + blen);
+            let mut ai = a.into_iter();
+            let mut bi = b.into_iter();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < alen && j < blen {
+                let ord = ai.as_slice()[0]
+                    .partition
+                    .cmp(&bi.as_slice()[0].partition)
+                    .then_with(|| raw_a(i).cmp(raw_b(j)));
+                if ord == std::cmp::Ordering::Greater {
+                    out.push(bi.next().expect("j < blen"));
+                    j += 1;
+                } else {
+                    out.push(ai.next().expect("i < alen"));
+                    i += 1;
+                }
+            }
+            out.extend(ai);
+            out.extend(bi);
+            return out;
+        }
     }
     let mut out = Vec::with_capacity(a.len() + b.len());
     let mut ai = a.into_iter().peekable();
@@ -371,7 +463,7 @@ mod tests {
         }
     }
 
-    fn decode_all(segments: &[Vec<u8>]) -> Vec<(String, i64)> {
+    fn decode_all(segments: &[Bytes]) -> Vec<(String, i64)> {
         let mut out = Vec::new();
         for seg in segments {
             for (k, v) in decode_segment::<Text, LongWritable>(seg).unwrap() {
@@ -385,7 +477,7 @@ mod tests {
     fn records_come_out_partitioned_and_sorted() {
         let mut buf = buffer(4, usize::MAX, false);
         collect_all(&mut buf, &["delta", "alpha", "charlie", "bravo", "alpha"]);
-        let (segments, _) = buf.finish().unwrap();
+        let (segments, _) = buf.finish(None).unwrap();
         assert_eq!(segments.len(), 4);
         // Within each partition, keys are sorted.
         for seg in &segments {
@@ -405,7 +497,7 @@ mod tests {
         let refs: Vec<&str> = words.iter().map(String::as_str).collect();
         collect_all(&mut buf, &refs);
         assert!(buf.spill_count() > 1, "tiny threshold must spill repeatedly");
-        let (segments, _) = buf.finish().unwrap();
+        let (segments, _) = buf.finish(None).unwrap();
         let mut all = decode_all(&segments);
         assert_eq!(all.len(), 100);
         all.sort();
@@ -416,7 +508,7 @@ mod tests {
     fn combiner_collapses_duplicate_keys_per_spill() {
         let mut buf = buffer(1, usize::MAX, true);
         collect_all(&mut buf, &["a", "b", "a", "a", "b"]);
-        let (segments, counters) = buf.finish().unwrap();
+        let (segments, counters) = buf.finish(None).unwrap();
         let mut recs = decode_all(&segments);
         recs.sort();
         assert_eq!(recs, vec![("a".to_string(), 3), ("b".to_string(), 2)]);
@@ -433,7 +525,7 @@ mod tests {
         collect_all(&mut buf, &["a"]);
         assert_eq!(buf.spill_count(), 1);
         collect_all(&mut buf, &["a"]);
-        let (segments, _) = buf.finish().unwrap();
+        let (segments, _) = buf.finish(None).unwrap();
         let recs = decode_all(&segments);
         assert_eq!(recs, vec![("a".to_string(), 1), ("a".to_string(), 1)]);
     }
@@ -447,7 +539,7 @@ mod tests {
             let words: Vec<String> = (0..50).map(|i| format!("word{i}")).collect();
             let refs: Vec<&str> = words.iter().map(String::as_str).collect();
             collect_all(&mut buf, &refs);
-            let _ = buf.finish().unwrap();
+            let _ = buf.finish(None).unwrap();
         });
         let d = cluster.metrics().snapshot().since(&before);
         assert!(d.ser_bytes > 0, "collect serializes");
@@ -531,7 +623,7 @@ mod prop_tests {
                 )
                 .unwrap();
             }
-            let (segments, _) = buf.finish().unwrap();
+            let (segments, _) = buf.finish(None).unwrap();
             prop_assert_eq!(segments.len(), partitions);
 
             let mut seen: Vec<(String, i32)> = Vec::new();

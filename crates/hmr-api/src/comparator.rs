@@ -8,16 +8,26 @@
 use std::cmp::Ordering;
 use std::sync::Arc;
 
+use crate::writable::Writable;
+
 /// A total order over keys, shareable across tasks and places.
 #[derive(Clone)]
 pub struct KeyComparator<K> {
     cmp: Arc<dyn Fn(&K, &K) -> Ordering + Send + Sync>,
+    /// True only for [`KeyComparator::natural`]: the order is the key
+    /// type's `Ord`, which licenses the raw-key (memcmp) sort fast path
+    /// for types whose serialized sort form preserves that order. Custom
+    /// and reversed comparators must go through the decoded compare.
+    natural_order: bool,
 }
 
 impl<K> KeyComparator<K> {
     /// Wrap an arbitrary comparison function.
     pub fn new(f: impl Fn(&K, &K) -> Ordering + Send + Sync + 'static) -> Self {
-        KeyComparator { cmp: Arc::new(f) }
+        KeyComparator {
+            cmp: Arc::new(f),
+            natural_order: false,
+        }
     }
 
     /// Compare two keys.
@@ -29,12 +39,21 @@ impl<K> KeyComparator<K> {
     pub fn same_group(&self, a: &K, b: &K) -> bool {
         self.compare(a, b) == Ordering::Equal
     }
+
+    /// True when this comparator is the key type's natural order, making
+    /// the raw-key sort fast path legal (see [`sort_pairs_by`]).
+    pub fn is_natural(&self) -> bool {
+        self.natural_order
+    }
 }
 
 impl<K: Ord> KeyComparator<K> {
     /// The key type's natural order — Hadoop's `WritableComparable` default.
     pub fn natural() -> Self {
-        KeyComparator::new(|a: &K, b: &K| a.cmp(b))
+        KeyComparator {
+            cmp: Arc::new(|a: &K, b: &K| a.cmp(b)),
+            natural_order: true,
+        }
     }
 
     /// Natural order reversed (descending sort).
@@ -49,10 +68,101 @@ impl<K> std::fmt::Debug for KeyComparator<K> {
     }
 }
 
+/// Raw sort keys for a run of keys, packed into one arena (Hadoop's
+/// `RawComparator` design: sort serialized forms with memcmp, never
+/// deserialize to compare). Returns `None` unless every key advertises a
+/// memcmp-ordered raw form via [`Writable::write_raw_sort_key`]; the first
+/// key is probed before any arena work, so non-raw key types pay O(1).
+///
+/// The result is `(arena, spans)`: key `i`'s raw form is
+/// `arena[spans[i].0 as usize..spans[i].1 as usize]`.
+pub fn build_raw_keys<'a, K: Writable + 'a>(
+    keys: impl Iterator<Item = &'a K>,
+) -> Option<(Vec<u8>, Vec<(u32, u32)>)> {
+    let mut arena: Vec<u8> = Vec::new();
+    let mut spans: Vec<(u32, u32)> = Vec::new();
+    for key in keys {
+        let start = arena.len();
+        if !key.write_raw_sort_key(&mut arena) {
+            return None;
+        }
+        spans.push((start as u32, arena.len() as u32));
+    }
+    Some((arena, spans))
+}
+
+/// Below this many pairs the decoded compare wins: building the raw-key
+/// arena is a fixed cost the prefix sort cannot amortize on small runs.
+const RAW_SORT_MIN_PAIRS: usize = 4096;
+
 /// Sort `pairs` by key under `cmp`, stably — matching Hadoop, where equal
 /// keys keep their shuffle arrival order within a partition.
-pub fn sort_pairs_by<K, V>(pairs: &mut [(Arc<K>, Arc<V>)], cmp: &KeyComparator<K>) {
+///
+/// When `cmp` is the natural order and the key type has a memcmp-ordered
+/// raw form, sorting runs `sort_unstable` over cached raw-key prefixes
+/// with the original index as tie-break — the exact permutation a stable
+/// comparator sort would produce, without a boxed comparator call per
+/// comparison. Custom sort/grouping comparators fall back to the decoded
+/// stable sort.
+pub fn sort_pairs_by<K: Writable, V>(pairs: &mut [(Arc<K>, Arc<V>)], cmp: &KeyComparator<K>) {
+    if cmp.is_natural() && pairs.len() >= RAW_SORT_MIN_PAIRS {
+        if let Some((arena, spans)) = build_raw_keys(pairs.iter().map(|(k, _)| &**k)) {
+            let raw = |i: u32| {
+                let (s, e) = spans[i as usize];
+                &arena[s as usize..e as usize]
+            };
+            // Sort (prefix, index) entries: the big-endian first-8-bytes
+            // prefix resolves most comparisons in a register without
+            // touching the arena. Zero-padding is safe — it can only
+            // produce false *equality* (never a false order), and equal
+            // prefixes fall back to the full raw form, then the original
+            // index, reproducing the stable sort's permutation exactly.
+            let mut order: Vec<(u64, u32)> = (0..pairs.len() as u32)
+                .map(|i| (raw_prefix(raw(i)), i))
+                .collect();
+            order.sort_unstable_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then_with(|| raw(a.1).cmp(raw(b.1)))
+                    .then(a.1.cmp(&b.1))
+            });
+            let order: Vec<u32> = order.into_iter().map(|(_, i)| i).collect();
+            apply_permutation(pairs, &order);
+            return;
+        }
+    }
     pairs.sort_by(|a, b| cmp.compare(&a.0, &b.0));
+}
+
+/// The first eight bytes of `key` as a big-endian integer, zero-padded.
+/// `prefix(a) < prefix(b)` implies `a < b`; equality must be re-checked on
+/// the full slices.
+pub fn raw_prefix(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
+
+/// Reorder `items` so position `i` holds the old `items[order[i]]`, by
+/// walking the permutation's cycles with swaps — no clones, so element
+/// types with refcounts (`Arc` pairs) pay plain 16-byte moves instead of
+/// four atomic ops apiece.
+pub fn apply_permutation<T>(items: &mut [T], order: &[u32]) {
+    let mut visited = vec![false; order.len()];
+    for start in 0..order.len() {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut prev = start;
+        let mut cur = order[start] as usize;
+        while cur != start {
+            visited[cur] = true;
+            items.swap(prev, cur);
+            prev = cur;
+            cur = order[cur] as usize;
+        }
+    }
 }
 
 /// Group adjacent sorted pairs by `grouping`: yields `(first_key_of_group,

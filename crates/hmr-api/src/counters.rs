@@ -182,7 +182,7 @@ impl TaskContext {
     }
 
     /// A distributed-cache file by its configured path string.
-    pub fn cache_file(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+    pub fn cache_file(&self, path: &str) -> Option<bytes::Bytes> {
         self.dist_cache.get(path)
     }
 

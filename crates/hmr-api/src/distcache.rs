@@ -7,7 +7,8 @@
 //! in the long-lived places.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+
+use bytes::Bytes;
 
 use crate::conf::JobConf;
 use crate::error::Result;
@@ -16,7 +17,7 @@ use crate::fs::{FileSystem, HPath};
 /// The materialized distributed cache for one task: path string → contents.
 #[derive(Clone, Debug, Default)]
 pub struct DistCache {
-    files: HashMap<String, Arc<Vec<u8>>>,
+    files: HashMap<String, Bytes>,
 }
 
 impl DistCache {
@@ -31,13 +32,13 @@ impl DistCache {
         let mut files = HashMap::new();
         for path in conf.cache_files() {
             let bytes = fs.open(&path)?.read_all()?;
-            files.insert(path.as_str().to_string(), Arc::new(bytes));
+            files.insert(path.as_str().to_string(), bytes);
         }
         Ok(DistCache { files })
     }
 
     /// Build from pre-loaded entries (M3R's cross-job memoization).
-    pub fn from_entries(entries: impl IntoIterator<Item = (HPath, Arc<Vec<u8>>)>) -> Self {
+    pub fn from_entries(entries: impl IntoIterator<Item = (HPath, Bytes)>) -> Self {
         DistCache {
             files: entries
                 .into_iter()
@@ -47,7 +48,7 @@ impl DistCache {
     }
 
     /// Contents of the cached file registered under `path`.
-    pub fn get(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+    pub fn get(&self, path: &str) -> Option<Bytes> {
         self.files.get(HPath::new(path).as_str()).cloned()
     }
 
@@ -94,7 +95,7 @@ mod tests {
     fn from_entries_builds_directly() {
         let cache = DistCache::from_entries([(
             HPath::new("/x"),
-            Arc::new(b"data".to_vec()),
+            Bytes::from(b"data".to_vec()),
         )]);
         assert_eq!(&*cache.get("/x").unwrap(), b"data");
     }

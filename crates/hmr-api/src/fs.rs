@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::RwLock;
 
 use crate::error::{HmrError, Result};
@@ -136,10 +137,12 @@ pub trait FsReader: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
-    /// Read `len` bytes starting at `offset` (clamped to EOF).
-    fn read_range(&mut self, offset: u64, len: u64) -> Result<Vec<u8>>;
+    /// Read `len` bytes starting at `offset` (clamped to EOF). Returns a
+    /// refcounted handle; filesystems that hold file contents in memory
+    /// return a zero-copy slice of the stored buffer where possible.
+    fn read_range(&mut self, offset: u64, len: u64) -> Result<Bytes>;
     /// Read the entire file.
-    fn read_all(&mut self) -> Result<Vec<u8>> {
+    fn read_all(&mut self) -> Result<Bytes> {
         let n = self.len();
         self.read_range(0, n)
     }
@@ -188,7 +191,7 @@ pub trait FileSystem: Send + Sync {
 
 #[derive(Debug)]
 enum MemNode {
-    File(Arc<Vec<u8>>),
+    File(Bytes),
     Dir,
 }
 
@@ -215,23 +218,24 @@ impl FsWriter for BufWriter {
         for anc in self.target.parent().iter().flat_map(|p| p.ancestors_inclusive()) {
             nodes.entry(anc).or_insert(MemNode::Dir);
         }
-        nodes.insert(self.target, MemNode::File(Arc::new(self.buf)));
+        nodes.insert(self.target, MemNode::File(Bytes::from(self.buf)));
         Ok(len)
     }
 }
 
 struct BufReader {
-    data: Arc<Vec<u8>>,
+    data: Bytes,
 }
 
 impl FsReader for BufReader {
     fn len(&self) -> u64 {
         self.data.len() as u64
     }
-    fn read_range(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+    fn read_range(&mut self, offset: u64, len: u64) -> Result<Bytes> {
         let start = (offset as usize).min(self.data.len());
         let end = (offset.saturating_add(len) as usize).min(self.data.len());
-        Ok(self.data[start..end].to_vec())
+        // Zero-copy: the returned handle shares the stored buffer.
+        Ok(self.data.slice(start..end))
     }
 }
 
@@ -286,7 +290,7 @@ impl FileSystem for MemFs {
         let nodes = self.inner.nodes.read();
         match nodes.get(path) {
             Some(MemNode::File(data)) => Ok(Box::new(BufReader {
-                data: Arc::clone(data),
+                data: data.clone(),
             })),
             Some(MemNode::Dir) => Err(HmrError::Io(format!("{path} is a directory"))),
             None => Err(HmrError::NotFound(path.to_string())),
@@ -420,7 +424,7 @@ pub fn write_file(fs: &dyn FileSystem, path: &HPath, bytes: &[u8]) -> Result<()>
 }
 
 /// Read an entire file in one call.
-pub fn read_file(fs: &dyn FileSystem, path: &HPath) -> Result<Vec<u8>> {
+pub fn read_file(fs: &dyn FileSystem, path: &HPath) -> Result<Bytes> {
     fs.open(path)?.read_all()
 }
 

@@ -105,7 +105,7 @@ impl<K: Writable, V: Writable> InputFormat<K, V> for SequenceFileInputFormat<K, 
 }
 
 struct SeqFileReader<K, V> {
-    bytes: Vec<u8>,
+    bytes: bytes::Bytes,
     pos: usize,
     checked_magic: bool,
     _marker: PhantomData<fn() -> (K, V)>,

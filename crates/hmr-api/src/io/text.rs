@@ -60,7 +60,7 @@ impl InputFormat<LongWritable, Text> for TextInputFormat {
 }
 
 struct LineReader {
-    bytes: Vec<u8>,
+    bytes: bytes::Bytes,
     pos: usize,
     base_offset: u64,
 }
@@ -229,7 +229,7 @@ mod tests {
         w.write(&Text::from("count"), &IntWritable(1)).unwrap();
         w.close().unwrap();
         let bytes = read_file(&fs, &HPath::new("/out/part-00000")).unwrap();
-        assert_eq!(String::from_utf8(bytes).unwrap(), "word\t3\ncount\t1\n");
+        assert_eq!(String::from_utf8(bytes.to_vec()).unwrap(), "word\t3\ncount\t1\n");
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl<'a, K, V> Context<'a, K, V> {
     }
 
     /// A distributed-cache file's contents.
-    pub fn cache_file(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+    pub fn cache_file(&self, path: &str) -> Option<bytes::Bytes> {
         self.task.cache_file(path)
     }
 

@@ -88,28 +88,64 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// Byte-appendable serialization target. `Writable`s are generic over the
+/// sink so the same encode path can fill a plain `Vec<u8>` or a pooled
+/// [`bytes::BytesMut`] shuffle buffer without an intermediate copy.
+pub trait ByteSink {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+    /// Append a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+    /// Hint that at least `additional` more bytes are coming.
+    fn reserve(&mut self, additional: usize);
+}
+
+impl ByteSink for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+    fn reserve(&mut self, additional: usize) {
+        Vec::reserve(self, additional);
+    }
+}
+
+impl ByteSink for bytes::BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.extend_from_slice(&[b]);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+    fn reserve(&mut self, additional: usize) {
+        bytes::BytesMut::reserve(self, additional);
+    }
+}
+
 /// Append a LEB128 varint.
-pub fn write_vu64(out: &mut Vec<u8>, mut v: u64) {
+pub fn write_vu64<S: ByteSink + ?Sized>(out: &mut S, mut v: u64) {
     loop {
         let b = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
-            out.push(b);
+            out.put_u8(b);
             return;
         }
-        out.push(b | 0x80);
+        out.put_u8(b | 0x80);
     }
 }
 
 /// Append a zig-zag varint.
-pub fn write_vi64(out: &mut Vec<u8>, v: i64) {
+pub fn write_vi64<S: ByteSink + ?Sized>(out: &mut S, v: i64) {
     write_vu64(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
 /// Hadoop's serialization contract.
 pub trait Writable: Send + Sync + std::fmt::Debug + 'static {
     /// Serialize `self` onto `out`.
-    fn write_to(&self, out: &mut Vec<u8>);
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S);
 
     /// Deserialize a value, consuming exactly the bytes `write_to` produced.
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self>
@@ -124,7 +160,26 @@ pub trait Writable: Send + Sync + std::fmt::Debug + 'static {
         self.write_to(&mut buf);
         buf.len()
     }
+
+    /// Append a byte string whose plain memcmp order equals this type's
+    /// natural `Ord`, and whose equality implies key equality, then return
+    /// `true`. The default returns `false` (type has no such encoding);
+    /// see [`RawComparable`] for the contract and which types opt in.
+    ///
+    /// Note this is *not* `write_to`: the wire form is little-endian and
+    /// length-prefixed, neither of which memcmp-orders correctly.
+    fn write_raw_sort_key<S: ByteSink + ?Sized>(&self, _out: &mut S) -> bool {
+        false
+    }
 }
+
+/// Marker for writables whose [`Writable::write_raw_sort_key`] encoding is
+/// total: memcmp over raw keys == the type's `Ord`, and raw-key equality ==
+/// key equality (Hadoop's `RawComparator` contract). Sort paths use this to
+/// order records by cached byte prefixes instead of a boxed comparator call
+/// per comparison; it is only consulted when the job sorts and groups by the
+/// *natural* order (see `KeyComparator::is_natural`).
+pub trait RawComparable: Writable + Ord {}
 
 /// Bound for MapReduce keys: writable, clonable, totally ordered, hashable.
 pub trait WritableKey: Writable + Clone + Eq + Ord + Hash {}
@@ -164,7 +219,7 @@ pub fn from_bytes<W: Writable>(bytes: &[u8]) -> Result<W> {
 pub struct NullWritable;
 
 impl Writable for NullWritable {
-    fn write_to(&self, _out: &mut Vec<u8>) {}
+    fn write_to<S: ByteSink + ?Sized>(&self, _out: &mut S) {}
     fn read_from(_input: &mut ByteReader<'_>) -> Result<Self> {
         Ok(NullWritable)
     }
@@ -178,8 +233,8 @@ impl Writable for NullWritable {
 pub struct BooleanWritable(pub bool);
 
 impl Writable for BooleanWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.push(self.0 as u8);
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
+        out.put_u8(self.0 as u8);
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
         Ok(BooleanWritable(input.read_u8()? != 0))
@@ -194,8 +249,8 @@ impl Writable for BooleanWritable {
 pub struct IntWritable(pub i32);
 
 impl Writable for IntWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
+        out.put_slice(&self.0.to_le_bytes());
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
         Ok(IntWritable(i32::from_le_bytes(
@@ -205,15 +260,22 @@ impl Writable for IntWritable {
     fn serialized_size(&self) -> usize {
         4
     }
+    fn write_raw_sort_key<S: ByteSink + ?Sized>(&self, out: &mut S) -> bool {
+        // Sign-flipped big-endian: memcmp order == i32 order.
+        out.put_slice(&((self.0 as u32) ^ 0x8000_0000).to_be_bytes());
+        true
+    }
 }
+
+impl RawComparable for IntWritable {}
 
 /// A 64-bit integer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LongWritable(pub i64);
 
 impl Writable for LongWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
+        out.put_slice(&self.0.to_le_bytes());
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
         Ok(LongWritable(i64::from_le_bytes(
@@ -223,7 +285,14 @@ impl Writable for LongWritable {
     fn serialized_size(&self) -> usize {
         8
     }
+    fn write_raw_sort_key<S: ByteSink + ?Sized>(&self, out: &mut S) -> bool {
+        // Sign-flipped big-endian: memcmp order == i64 order.
+        out.put_slice(&((self.0 as u64) ^ 0x8000_0000_0000_0000).to_be_bytes());
+        true
+    }
 }
+
+impl RawComparable for LongWritable {}
 
 /// A 64-bit float. Ordering is IEEE total order and equality is bitwise, so
 /// the type can serve as a MapReduce key exactly like Hadoop's
@@ -254,8 +323,8 @@ impl Hash for DoubleWritable {
 }
 
 impl Writable for DoubleWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
+        out.put_slice(&self.0.to_le_bytes());
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
         Ok(DoubleWritable(f64::from_le_bytes(
@@ -304,9 +373,9 @@ impl std::fmt::Display for Text {
 }
 
 impl Writable for Text {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         write_vu64(out, self.0.len() as u64);
-        out.extend_from_slice(self.0.as_bytes());
+        out.put_slice(self.0.as_bytes());
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
         let n = input.read_vu64()? as usize;
@@ -319,16 +388,25 @@ impl Writable for Text {
         let n = self.0.len();
         n + varint_len(n as u64)
     }
+    fn write_raw_sort_key<S: ByteSink + ?Sized>(&self, out: &mut S) -> bool {
+        // Content bytes WITHOUT the varint length prefix: `str` orders
+        // byte-lexicographically, exactly memcmp with shorter-is-less —
+        // while a length prefix would order "b" after "ab".
+        out.put_slice(self.0.as_bytes());
+        true
+    }
 }
+
+impl RawComparable for Text {}
 
 /// Raw bytes (Hadoop `BytesWritable`).
 #[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BytesWritable(pub Vec<u8>);
 
 impl Writable for BytesWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         write_vu64(out, self.0.len() as u64);
-        out.extend_from_slice(&self.0);
+        out.put_slice(&self.0);
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
         let n = input.read_vu64()? as usize;
@@ -337,7 +415,14 @@ impl Writable for BytesWritable {
     fn serialized_size(&self) -> usize {
         self.0.len() + varint_len(self.0.len() as u64)
     }
+    fn write_raw_sort_key<S: ByteSink + ?Sized>(&self, out: &mut S) -> bool {
+        // Unprefixed content: `[u8]` Ord is memcmp with shorter-is-less.
+        out.put_slice(&self.0);
+        true
+    }
 }
+
+impl RawComparable for BytesWritable {}
 
 /// A pair of writables; sorts lexicographically. Hadoop expresses these as
 /// custom composite keys (e.g. the matrix block index of §6.2).
@@ -345,7 +430,7 @@ impl Writable for BytesWritable {
 pub struct PairWritable<A, B>(pub A, pub B);
 
 impl<A: Writable + Clone, B: Writable + Clone> Writable for PairWritable<A, B> {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         self.0.write_to(out);
         self.1.write_to(out);
     }
@@ -362,7 +447,7 @@ impl<A: Writable + Clone, B: Writable + Clone> Writable for PairWritable<A, B> {
 pub struct ArrayWritable<T>(pub Vec<T>);
 
 impl<T: Writable + Clone> Writable for ArrayWritable<T> {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         write_vu64(out, self.0.len() as u64);
         for x in &self.0 {
             x.write_to(out);
@@ -388,10 +473,10 @@ impl<T: Writable + Clone> Writable for ArrayWritable<T> {
 pub struct DoubleArrayWritable(pub Vec<f64>);
 
 impl Writable for DoubleArrayWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         write_vu64(out, self.0.len() as u64);
         for x in &self.0 {
-            out.extend_from_slice(&x.to_le_bytes());
+            out.put_slice(&x.to_le_bytes());
         }
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
@@ -607,8 +692,8 @@ impl Hash for FloatWritable {
 }
 
 impl Writable for FloatWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
+        out.put_slice(&self.0.to_le_bytes());
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
         Ok(FloatWritable(f32::from_le_bytes(
@@ -626,7 +711,7 @@ impl Writable for FloatWritable {
 pub struct VLongWritable(pub i64);
 
 impl Writable for VLongWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         write_vi64(out, self.0);
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
@@ -639,8 +724,8 @@ impl Writable for VLongWritable {
 pub struct ByteWritable(pub u8);
 
 impl Writable for ByteWritable {
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.push(self.0);
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
+        out.put_u8(self.0);
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
         Ok(ByteWritable(input.read_u8()?))
@@ -656,11 +741,11 @@ impl Writable for ByteWritable {
 pub struct OptionWritable<T>(pub Option<T>);
 
 impl<T: Writable + Clone> Writable for OptionWritable<T> {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         match &self.0 {
-            None => out.push(0),
+            None => out.put_u8(0),
             Some(v) => {
-                out.push(1);
+                out.put_u8(1);
                 v.write_to(out);
             }
         }

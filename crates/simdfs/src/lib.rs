@@ -24,6 +24,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::RwLock;
 
 use hmr_api::error::{HmrError, Result};
@@ -53,9 +54,10 @@ enum DfsNode {
 struct Inner {
     /// Namenode: all metadata, hierarchically keyed.
     meta: RwLock<BTreeMap<HPath, DfsNode>>,
-    /// Datanodes: block id → bytes (replicas share one buffer; placement is
-    /// metadata — the simulation charges as if each replica were distinct).
-    blocks: RwLock<std::collections::HashMap<u64, Arc<Vec<u8>>>>,
+    /// Datanodes: block id → bytes (replicas share one refcounted buffer;
+    /// placement is metadata — the simulation charges as if each replica
+    /// were distinct).
+    blocks: RwLock<std::collections::HashMap<u64, Bytes>>,
     next_block: AtomicU64,
     cluster: simgrid::Cluster,
     block_size: u64,
@@ -205,7 +207,7 @@ impl FsWriter for DfsWriter {
                 meter::charge(Charge::NetTransfer { bytes: len });
                 meter::charge(Charge::DiskWrite { bytes: len });
             }
-            inner.blocks.write().insert(id, Arc::new(chunk));
+            inner.blocks.write().insert(id, Bytes::from(chunk));
             blocks.push(BlockInfo { id, len, replicas });
         }
 
@@ -247,23 +249,29 @@ impl FsReader for DfsReader {
         self.len
     }
 
-    fn read_range(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+    fn read_range(&mut self, offset: u64, len: u64) -> Result<Bytes> {
         let local = meter::current_meter().map(|m| m.node().id());
-        let mut out = Vec::new();
         let end = offset.saturating_add(len).min(self.len);
         if offset >= end {
-            return Ok(out);
+            return Ok(Bytes::new());
         }
+        // Gather the per-block handles first (charging as we go), so a
+        // range inside one block returns a zero-copy slice of the stored
+        // buffer and only multi-block reads pay a concatenation.
+        let mut parts: Vec<Bytes> = Vec::new();
         for (block_start, info) in self.dfs.blocks_in_range(&self.path, offset, end - offset)? {
             let bytes = {
                 let blocks = self.dfs.inner.blocks.read();
-                Arc::clone(blocks.get(&info.id).ok_or_else(|| {
-                    HmrError::Io(format!("block {} of {} lost", info.id, self.path))
-                })?)
+                blocks
+                    .get(&info.id)
+                    .ok_or_else(|| {
+                        HmrError::Io(format!("block {} of {} lost", info.id, self.path))
+                    })?
+                    .clone()
             };
             let from = offset.saturating_sub(block_start).min(info.len) as usize;
             let to = (end - block_start).min(info.len) as usize;
-            let slice = &bytes[from..to];
+            let slice = bytes.slice(from..to);
             // Disk read at the replica host; network hop when no replica is
             // local to the reading task's node.
             meter::charge(Charge::DiskRead {
@@ -275,9 +283,16 @@ impl FsReader for DfsReader {
                     bytes: slice.len() as u64,
                 });
             }
-            out.extend_from_slice(slice);
+            parts.push(slice);
         }
-        Ok(out)
+        if parts.len() == 1 {
+            return Ok(parts.pop().expect("one part"));
+        }
+        let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in &parts {
+            out.extend_from_slice(p);
+        }
+        Ok(Bytes::from(out))
     }
 }
 

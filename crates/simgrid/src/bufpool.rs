@@ -1,0 +1,205 @@
+//! Per-place free-list of byte buffers recycled across waves and jobs.
+//!
+//! M3R's performance story leans on long-lived places: a JVM that survives
+//! across jobs can keep its big shuffle buffers warm instead of re-growing
+//! them from empty every task (§3.2.2, and the long-lived-JVM reuse
+//! discussion in §5). [`BufPool`] is that story for the byte hot path: an
+//! engine holds one pool per place, serializers draw pre-sized `BytesMut`
+//! buffers from it, and finished [`bytes::Bytes`] handles flow through the
+//! shuffle by refcount. Once every reader drops its handle, the unique
+//! buffer is reclaimed (`Bytes::try_into_mut`) and goes back on the
+//! free-list with its grown capacity intact.
+//!
+//! The pool affects wall-clock time only. Simulated charges are priced on
+//! byte counts, which are identical whether a buffer came from the pool or
+//! the allocator — the equivalence tests in higher crates assert exactly
+//! that. Hit/miss counts land in [`Metrics`] (outside the snapshot; see the
+//! note there).
+
+use parking_lot::Mutex;
+
+use crate::metrics::Metrics;
+
+use bytes::{Bytes, BytesMut};
+
+/// A lock-protected free-list of reusable byte buffers.
+///
+/// `get` hands out the smallest buffer that already satisfies the request
+/// (best fit). Segment sizes within a job are often skewed; handing out the
+/// largest buffer first binds multi-megabyte buffers to kilobyte requests
+/// and leaves the big requests growing small leftovers, ratcheting the
+/// pool's footprint far past the live data it serves.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Mutex<Vec<BytesMut>>,
+    metrics: Option<Metrics>,
+    /// Buffers retained at most; excess `put`s drop the smallest.
+    max_buffers: usize,
+}
+
+impl BufPool {
+    /// A pool that does not report hit/miss stats.
+    pub fn new() -> Self {
+        BufPool {
+            free: Mutex::new(Vec::new()),
+            metrics: None,
+            max_buffers: 64,
+        }
+    }
+
+    /// A pool that counts hits and misses into `metrics`.
+    pub fn with_metrics(metrics: Metrics) -> Self {
+        BufPool {
+            free: Mutex::new(Vec::new()),
+            metrics: Some(metrics),
+            max_buffers: 64,
+        }
+    }
+
+    /// Take a cleared buffer with at least `min_capacity` bytes reserved.
+    /// Counts a hit when a recycled buffer is returned (even if it must
+    /// grow — the allocation is amortized away after the first wave).
+    pub fn get(&self, min_capacity: usize) -> BytesMut {
+        let recycled = {
+            let mut free = self.free.lock();
+            // Best fit: the smallest buffer already big enough; otherwise
+            // the largest available, which needs the least growth.
+            match free.binary_search_by_key(&min_capacity, BytesMut::capacity) {
+                Ok(i) => Some(free.remove(i)),
+                Err(i) if i < free.len() => Some(free.remove(i)),
+                Err(_) => free.pop(),
+            }
+        };
+        if let Some(m) = &self.metrics {
+            m.record_pool_request(recycled.is_some());
+        }
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                if buf.capacity() < min_capacity {
+                    buf.reserve(min_capacity - buf.len());
+                }
+                buf
+            }
+            None => BytesMut::with_capacity(min_capacity),
+        }
+    }
+
+    /// Take the largest free buffer, or a fresh one of `min_capacity` when
+    /// the list is empty. For callers that cannot size their request up
+    /// front (shuffle streams grow with the data): the largest warm buffer
+    /// is the one most likely to absorb the whole stream without growing.
+    pub fn get_any(&self, min_capacity: usize) -> BytesMut {
+        let recycled = self.free.lock().pop();
+        if let Some(m) = &self.metrics {
+            m.record_pool_request(recycled.is_some());
+        }
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => BytesMut::with_capacity(min_capacity),
+        }
+    }
+
+    /// Return a buffer to the free-list. Keeps the list sorted by capacity
+    /// so `get` can binary-search for the best fit.
+    pub fn put(&self, mut buf: BytesMut) {
+        buf.clear();
+        let mut free = self.free.lock();
+        let pos = free
+            .binary_search_by_key(&buf.capacity(), BytesMut::capacity)
+            .unwrap_or_else(|p| p);
+        free.insert(pos, buf);
+        if free.len() > self.max_buffers {
+            free.remove(0); // smallest capacity
+        }
+    }
+
+    /// Reclaim a frozen handle if this is the last reference to it;
+    /// otherwise the storage stays alive until its other readers drop.
+    pub fn reclaim(&self, bytes: Bytes) {
+        if let Ok(buf) = bytes.try_into_mut() {
+            self.put(buf);
+        }
+    }
+
+    /// Number of buffers currently on the free-list.
+    pub fn free_count(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Capacity of each buffer on the free-list (ascending).
+    pub fn free_capacities(&self) -> Vec<usize> {
+        self.free.lock().iter().map(BytesMut::capacity).collect()
+    }
+
+    /// Drop every retained buffer.
+    pub fn drain(&self) {
+        self.free.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_prefers_recycled_capacity() {
+        let pool = BufPool::new();
+        let mut a = pool.get(1024);
+        a.extend_from_slice(&[7; 2000]); // grow past the request
+        pool.put(a);
+        let b = pool.get(16);
+        assert!(b.capacity() >= 2000, "recycled buffer keeps its growth");
+        assert!(b.is_empty(), "recycled buffer is cleared");
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
+    fn reclaim_requires_last_reference() {
+        let pool = BufPool::new();
+        let mut buf = pool.get(64);
+        buf.extend_from_slice(b"stream bytes");
+        let frozen = buf.freeze();
+        let reader = frozen.clone();
+        pool.reclaim(frozen); // reader still holds the storage
+        assert_eq!(pool.free_count(), 0);
+        pool.reclaim(reader); // last handle: storage returns
+        assert_eq!(pool.free_count(), 1);
+    }
+
+    #[test]
+    fn metrics_see_hits_and_misses() {
+        let m = Metrics::new();
+        let pool = BufPool::with_metrics(m.clone());
+        let a = pool.get(8); // miss
+        pool.put(a);
+        let _b = pool.get(8); // hit
+        let _c = pool.get(8); // miss (pool empty again)
+        assert_eq!(m.pool_hits(), 1);
+        assert_eq!(m.pool_misses(), 2);
+        // Pool traffic must not leak into snapshot equality.
+        assert_eq!(m.snapshot(), Metrics::new().snapshot());
+    }
+
+    #[test]
+    fn best_fit_and_bounded() {
+        let pool = BufPool::new();
+        for cap in [16, 4096, 256] {
+            pool.put(BytesMut::with_capacity(cap));
+        }
+        let cap = pool.get(100).capacity();
+        assert!(
+            (256..4096).contains(&cap),
+            "smallest sufficient buffer handed out, got {cap}"
+        );
+        // Nothing on the list fits 1 MB: the largest leftover grows.
+        let big = pool.get(1 << 20);
+        assert!(big.capacity() >= 1 << 20);
+        assert_eq!(pool.free_count(), 1, "the 16-byte runt is still free");
+        pool.drain();
+        assert_eq!(pool.free_count(), 0);
+    }
+}

@@ -21,6 +21,7 @@
 //! reader) bill the task that is currently executing without threading a
 //! handle through every API.
 
+pub mod bufpool;
 pub mod clock;
 pub mod cluster;
 pub mod cost;
@@ -28,6 +29,7 @@ pub mod meter;
 pub mod metrics;
 pub mod pool;
 
+pub use bufpool::BufPool;
 pub use clock::Clock;
 pub use cluster::{Cluster, Node, NodeId};
 pub use cost::{Charge, CostModel};

@@ -31,6 +31,12 @@ struct MetricsInner {
     heartbeats: AtomicU64,
     barriers: AtomicU64,
     job_submits: AtomicU64,
+    // Buffer-pool effectiveness counters. Deliberately NOT part of
+    // `MetricsSnapshot`: snapshots are compared bit-for-bit in equivalence
+    // tests (pool on vs off, serial vs parallel), and pool hit rates are a
+    // wall-clock artifact that legitimately differs between those runs.
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 macro_rules! getters {
@@ -107,6 +113,19 @@ impl Metrics {
         heartbeats: heartbeats,
         barriers: barriers,
         job_submits: job_submits,
+        pool_hits: pool_hits,
+        pool_misses: pool_misses,
+    }
+
+    /// Count one buffer-pool request: `hit` when a recycled buffer was
+    /// handed out, miss when a fresh allocation was needed.
+    pub fn record_pool_request(&self, hit: bool) {
+        let ctr = if hit {
+            &self.inner.pool_hits
+        } else {
+            &self.inner.pool_misses
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reset every counter to zero.
@@ -125,6 +144,8 @@ impl Metrics {
             &i.heartbeats,
             &i.barriers,
             &i.job_submits,
+            &i.pool_hits,
+            &i.pool_misses,
         ] {
             a.store(0, Ordering::Relaxed);
         }

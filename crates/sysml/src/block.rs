@@ -11,7 +11,7 @@
 //! SystemML job moves and caches far more bytes per non-zero) is preserved.
 
 use hmr_api::error::{HmrError, Result};
-use hmr_api::writable::{write_vi64, write_vu64, ByteReader, Writable};
+use hmr_api::writable::{write_vi64, write_vu64, ByteReader, ByteSink, Writable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +22,7 @@ use crate::dense::DenseMatrix;
 pub struct MatrixIndexes(pub i64, pub i64);
 
 impl Writable for MatrixIndexes {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         write_vi64(out, self.0);
         write_vi64(out, self.1);
     }
@@ -80,16 +80,16 @@ impl CooBlock {
 }
 
 impl Writable for CooBlock {
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.rows.to_le_bytes());
-        out.extend_from_slice(&self.cols.to_le_bytes());
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
+        out.put_slice(&self.rows.to_le_bytes());
+        out.put_slice(&self.cols.to_le_bytes());
         write_vu64(out, self.entries.len() as u64);
         for &(r, c, v) in &self.entries {
             // Fat on purpose: full i64 indices + simulated object header.
-            out.extend_from_slice(&(r as i64).to_le_bytes());
-            out.extend_from_slice(&(c as i64).to_le_bytes());
-            out.extend_from_slice(&v.to_le_bytes());
-            out.extend_from_slice(&[0u8; 8]);
+            out.put_slice(&(r as i64).to_le_bytes());
+            out.put_slice(&(c as i64).to_le_bytes());
+            out.put_slice(&v.to_le_bytes());
+            out.put_slice(&[0u8; 8]);
         }
     }
     fn read_from(input: &mut ByteReader<'_>) -> Result<Self> {
@@ -163,18 +163,18 @@ impl MLBlock {
 }
 
 impl Writable for MLBlock {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         match self {
             MLBlock::Sparse(b) => {
-                out.push(0);
+                out.put_u8(0);
                 b.write_to(out);
             }
             MLBlock::Dense { rows, cols, vals } => {
-                out.push(1);
-                out.extend_from_slice(&rows.to_le_bytes());
-                out.extend_from_slice(&cols.to_le_bytes());
+                out.put_u8(1);
+                out.put_slice(&rows.to_le_bytes());
+                out.put_slice(&cols.to_le_bytes());
                 for v in vals {
-                    out.extend_from_slice(&v.to_le_bytes());
+                    out.put_slice(&v.to_le_bytes());
                 }
             }
         }

@@ -31,7 +31,7 @@ use hmr_api::multi::DelegatingInputFormat;
 use hmr_api::partition::{FnPartitioner, Partitioner};
 use hmr_api::task::{TaskMapper, TaskReducer};
 use hmr_api::writable::{
-    ByteReader, DoubleArrayWritable, IntWritable, PairWritable, Writable,
+    ByteReader, ByteSink, DoubleArrayWritable, IntWritable, PairWritable, Writable,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,18 +107,18 @@ impl CscBlock {
 }
 
 impl Writable for CscBlock {
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.rows.to_le_bytes());
-        out.extend_from_slice(&self.cols.to_le_bytes());
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
+        out.put_slice(&self.rows.to_le_bytes());
+        out.put_slice(&self.cols.to_le_bytes());
         hmr_api::writable::write_vu64(out, self.vals.len() as u64);
         for p in &self.colptr {
-            out.extend_from_slice(&p.to_le_bytes());
+            out.put_slice(&p.to_le_bytes());
         }
         for r in &self.rowidx {
-            out.extend_from_slice(&r.to_le_bytes());
+            out.put_slice(&r.to_le_bytes());
         }
         for v in &self.vals {
-            out.extend_from_slice(&v.to_le_bytes());
+            out.put_slice(&v.to_le_bytes());
         }
     }
 
@@ -164,14 +164,14 @@ pub enum MatVecValue {
 }
 
 impl Writable for MatVecValue {
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to<S: ByteSink + ?Sized>(&self, out: &mut S) {
         match self {
             MatVecValue::G(b) => {
-                out.push(0);
+                out.put_u8(0);
                 b.write_to(out);
             }
             MatVecValue::V(v) => {
-                out.push(1);
+                out.put_u8(1);
                 v.write_to(out);
             }
         }

@@ -83,7 +83,7 @@ mod tests {
     fn corpus_is_line_oriented_utf8() {
         let fs = MemFs::new();
         generate_text(&fs, &HPath::new("/t"), 5_000, 3).unwrap();
-        let text = String::from_utf8(hmr_api::fs::read_file(&fs, &HPath::new("/t")).unwrap())
+        let text = String::from_utf8(hmr_api::fs::read_file(&fs, &HPath::new("/t")).unwrap().to_vec())
             .expect("valid utf8");
         assert!(text.lines().count() > 10);
         // The head of the Zipf distribution dominates.

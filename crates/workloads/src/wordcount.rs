@@ -198,7 +198,7 @@ mod tests {
 
     fn reference_counts(fs: &SimDfs, path: &HPath) -> BTreeMap<String, i64> {
         let text =
-            String::from_utf8(hmr_api::fs::read_file(fs, path).unwrap()).unwrap();
+            String::from_utf8(hmr_api::fs::read_file(fs, path).unwrap().to_vec()).unwrap();
         let mut m = BTreeMap::new();
         for w in text.split_whitespace() {
             *m.entry(w.to_string()).or_insert(0) += 1;

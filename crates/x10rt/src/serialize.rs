@@ -19,6 +19,8 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::{Bytes, BytesMut};
+
 /// How aggressively the serializer de-duplicates repeated values.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DedupMode {
@@ -87,8 +89,12 @@ pub struct SerStats {
 }
 
 /// An encoding stream with identity-based de-duplication.
+///
+/// The stream writes into a [`BytesMut`] — pre-sized from `serialized_size`
+/// hints and typically drawn from a `simgrid::BufPool` — and finishes into a
+/// refcounted [`Bytes`] handle that shuffle consumers share without copying.
 pub struct Serializer {
-    buf: Vec<u8>,
+    buf: BytesMut,
     mode: DedupMode,
     /// id ⇒ keep-alive; keyed by the value's address. Holding the `Arc`
     /// prevents address reuse from aliasing distinct values.
@@ -102,8 +108,21 @@ pub struct Serializer {
 impl Serializer {
     /// A fresh stream using `mode`.
     pub fn new(mode: DedupMode) -> Self {
+        Serializer::with_buffer(BytesMut::new(), mode)
+    }
+
+    /// A fresh stream whose buffer starts with `capacity` bytes reserved
+    /// (callers size this from `serialized_size` hints).
+    pub fn with_capacity(capacity: usize, mode: DedupMode) -> Self {
+        Serializer::with_buffer(BytesMut::with_capacity(capacity), mode)
+    }
+
+    /// A stream writing into a caller-provided (usually pooled) buffer.
+    /// The buffer's existing contents are discarded.
+    pub fn with_buffer(mut buf: BytesMut, mode: DedupMode) -> Self {
+        buf.clear();
         Serializer {
-            buf: Vec::new(),
+            buf,
             mode,
             seen: HashMap::new(),
             window: std::collections::VecDeque::new(),
@@ -111,6 +130,11 @@ impl Serializer {
             payload_bytes: 0,
             dedup_hits: 0,
         }
+    }
+
+    /// Hint that at least `additional` more bytes are coming.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     fn lookup(&mut self, ptr: usize) -> Option<u32> {
@@ -149,18 +173,18 @@ impl Serializer {
     pub fn write_arc_with<T: Send + Sync + 'static>(
         &mut self,
         value: &Arc<T>,
-        encode: impl FnOnce(&T, &mut Vec<u8>),
+        encode: impl FnOnce(&T, &mut BytesMut),
     ) {
         let ptr = Arc::as_ptr(value) as usize;
         if let Some(id) = self.lookup(ptr) {
-            self.buf.push(TAG_BACKREF);
+            self.buf.extend_from_slice(&[TAG_BACKREF]);
             self.buf.extend_from_slice(&id.to_le_bytes());
             self.dedup_hits += 1;
             return;
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.buf.push(TAG_INLINE);
+        self.buf.extend_from_slice(&[TAG_INLINE]);
         let before = self.buf.len();
         encode(value, &mut self.buf);
         self.payload_bytes += (self.buf.len() - before) as u64;
@@ -192,30 +216,39 @@ impl Serializer {
         self.buf.is_empty()
     }
 
-    /// Finish the stream, returning the bytes and their statistics.
-    pub fn finish(self) -> (Vec<u8>, SerStats) {
+    /// Finish the stream, returning a refcounted handle to the bytes and
+    /// their statistics. The conversion moves the storage — no copy — and
+    /// every consumer of the stream shares it by refcount; once the last
+    /// handle drops, the buffer can return to its pool
+    /// (`BufPool::reclaim`).
+    pub fn finish(self) -> (Bytes, SerStats) {
         let stats = SerStats {
             total_bytes: self.buf.len() as u64,
             payload_bytes: self.payload_bytes,
             dedup_hits: self.dedup_hits,
             values_retained: self.seen.len() as u64 + self.window.len() as u64,
         };
-        (self.buf, stats)
+        (self.buf.freeze(), stats)
     }
 }
 
 /// Decoder for streams produced by [`Serializer`]. Back-references
 /// reconstruct *aliases*: "on deserialization Q will have multiple aliases
 /// of that copy" (§3.2.2.3).
-pub struct Deserializer<'a> {
-    data: &'a [u8],
+///
+/// Generic over the byte storage: borrow a slice (`Deserializer<&[u8]>`)
+/// for one-shot decoding, or hand it an owned [`Bytes`] handle
+/// (`Deserializer<Bytes>`) so iterators can walk a shared shuffle stream
+/// without borrowing it — the storage stays alive by refcount.
+pub struct Deserializer<D: AsRef<[u8]>> {
+    data: D,
     pos: usize,
     registry: Vec<Arc<dyn Any + Send + Sync>>,
 }
 
-impl<'a> Deserializer<'a> {
+impl<D: AsRef<[u8]>> Deserializer<D> {
     /// Decode `data` from the start.
-    pub fn new(data: &'a [u8]) -> Self {
+    pub fn new(data: D) -> Self {
         Deserializer {
             data,
             pos: 0,
@@ -225,15 +258,15 @@ impl<'a> Deserializer<'a> {
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.data.as_ref().len() - self.pos
     }
 
     /// Read `n` raw bytes.
-    pub fn read_raw(&mut self, n: usize) -> Result<&'a [u8], SerError> {
+    pub fn read_raw(&mut self, n: usize) -> Result<&[u8], SerError> {
         if self.remaining() < n {
             return Err(SerError::Eof);
         }
-        let s = &self.data[self.pos..self.pos + n];
+        let s = &self.data.as_ref()[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
@@ -252,8 +285,8 @@ impl<'a> Deserializer<'a> {
 
     /// The not-yet-consumed suffix of the stream. Pair with
     /// [`Deserializer::advance`] for decoders that work on raw slices.
-    pub fn rest(&self) -> &'a [u8] {
-        &self.data[self.pos..]
+    pub fn rest(&self) -> &[u8] {
+        &self.data.as_ref()[self.pos..]
     }
 
     /// Consume `n` bytes previously inspected through [`Deserializer::rest`].
@@ -265,11 +298,17 @@ impl<'a> Deserializer<'a> {
         Ok(())
     }
 
+    /// Mark the stream fully consumed (used by iterators to stop after a
+    /// decoding error instead of spinning on the same bad bytes).
+    pub fn poison(&mut self) {
+        self.pos = self.data.as_ref().len();
+    }
+
     /// Read one shared value. `decode` is invoked for inline payloads;
     /// back-references return an alias of the previously decoded `Arc`.
     pub fn read_arc_with<T: Send + Sync + 'static>(
         &mut self,
-        decode: impl FnOnce(&mut Deserializer<'a>) -> Result<T, SerError>,
+        decode: impl FnOnce(&mut Self) -> Result<T, SerError>,
     ) -> Result<Arc<T>, SerError> {
         let tag = self.read_raw(1)?[0];
         match tag {
@@ -298,10 +337,10 @@ impl<'a> Deserializer<'a> {
 mod tests {
     use super::*;
 
-    fn enc(v: &u64, buf: &mut Vec<u8>) {
+    fn enc(v: &u64, buf: &mut BytesMut) {
         buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn dec(d: &mut Deserializer<'_>) -> Result<u64, SerError> {
+    fn dec(d: &mut Deserializer<&[u8]>) -> Result<u64, SerError> {
         d.read_u64()
     }
 
@@ -314,7 +353,7 @@ mod tests {
         let (bytes, stats) = s.finish();
         assert_eq!(stats.dedup_hits, 0);
         assert_eq!(stats.payload_bytes, 16);
-        let mut d = Deserializer::new(&bytes);
+        let mut d = Deserializer::new(&bytes[..]);
         let x = d.read_arc_with(dec).unwrap();
         let y = d.read_arc_with(dec).unwrap();
         assert_eq!((*x, *y), (7, 7));
@@ -333,7 +372,7 @@ mod tests {
         assert_eq!(stats.payload_bytes, 8, "one inline copy only");
         // 1 inline record (1 + 8) + 9 backrefs (1 + 4)
         assert_eq!(stats.total_bytes, 9 + 9 * 5);
-        let mut d = Deserializer::new(&bytes);
+        let mut d = Deserializer::new(&bytes[..]);
         let first = d.read_arc_with(dec).unwrap();
         for _ in 0..9 {
             let alias = d.read_arc_with(dec).unwrap();
@@ -367,7 +406,7 @@ mod tests {
         }
         let (bytes, stats) = s.finish();
         assert_eq!(stats.dedup_hits, 0, "distinct values must never alias");
-        let mut d = Deserializer::new(&bytes);
+        let mut d = Deserializer::new(&bytes[..]);
         for i in 0..100u64 {
             assert_eq!(*d.read_arc_with(dec).unwrap(), i);
         }
@@ -392,7 +431,7 @@ mod tests {
             "O(1) retention, got {}",
             stats.values_retained
         );
-        let mut d = Deserializer::new(&bytes);
+        let mut d = Deserializer::new(&bytes[..]);
         let mut got = Vec::new();
         for _ in 0..7 {
             got.push(*d.read_arc_with(dec).unwrap());
@@ -442,7 +481,7 @@ mod tests {
         }
         let (bytes, stats) = s.finish();
         assert_eq!(stats.dedup_hits, 4);
-        let mut d = Deserializer::new(&bytes);
+        let mut d = Deserializer::new(&bytes[..]);
         let mut got = Vec::new();
         for _ in 0..6 {
             got.push(*d.read_arc_with(dec).unwrap());
@@ -454,16 +493,16 @@ mod tests {
     fn truncated_stream_reports_eof() {
         let mut s = Serializer::new(DedupMode::Off);
         s.write_arc_with(&Arc::new(1u64), enc);
-        let (mut bytes, _) = s.finish();
-        bytes.truncate(bytes.len() - 3);
-        let mut d = Deserializer::new(&bytes);
+        let (bytes, _) = s.finish();
+        let bytes = bytes.slice(..bytes.len() - 3);
+        let mut d = Deserializer::new(&bytes[..]);
         assert_eq!(d.read_arc_with(dec).unwrap_err(), SerError::Eof);
     }
 
     #[test]
     fn dangling_backref_detected() {
-        let bytes = vec![TAG_BACKREF, 9, 0, 0, 0];
-        let mut d = Deserializer::new(&bytes);
+        let bytes = [TAG_BACKREF, 9, 0, 0, 0];
+        let mut d = Deserializer::new(&bytes[..]);
         assert_eq!(
             d.read_arc_with(dec).unwrap_err(),
             SerError::BadBackref(9)
@@ -472,8 +511,8 @@ mod tests {
 
     #[test]
     fn bad_tag_detected() {
-        let bytes = vec![0x7F];
-        let mut d = Deserializer::new(&bytes);
+        let bytes = [0x7F];
+        let mut d = Deserializer::new(&bytes[..]);
         assert_eq!(d.read_arc_with(dec).unwrap_err(), SerError::BadTag(0x7F));
     }
 
@@ -484,7 +523,7 @@ mod tests {
         s.write_arc_with(&v, enc);
         s.write_arc_with(&v, enc);
         let (bytes, _) = s.finish();
-        let mut d = Deserializer::new(&bytes);
+        let mut d = Deserializer::new(&bytes[..]);
         let _ = d.read_arc_with(dec).unwrap();
         // Try to read the backref as a different type.
         let r = d.read_arc_with(|d| d.read_u64().map(|v| v as u32));
@@ -498,7 +537,7 @@ mod tests {
         s.write_u64(1 << 40);
         s.write_raw(b"hdr");
         let (bytes, _) = s.finish();
-        let mut d = Deserializer::new(&bytes);
+        let mut d = Deserializer::new(&bytes[..]);
         assert_eq!(d.read_u32().unwrap(), 7);
         assert_eq!(d.read_u64().unwrap(), 1 << 40);
         assert_eq!(d.read_raw(3).unwrap(), b"hdr");

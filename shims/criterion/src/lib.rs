@@ -1,0 +1,299 @@
+//! Offline stand-in for the `criterion` crate. It really measures — warmup,
+//! then `sample_size` timed samples of a calibrated iteration batch — and
+//! prints `group/name  time: [min mean max]` lines in criterion's format,
+//! but does no statistics beyond that and writes no HTML reports. The API
+//! subset matches what the workspace's benches call.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver. One per process, created by `criterion_main!`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(600),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation (printed, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let Some(m) = &b.result else {
+            println!("{}/{}  (no measurement)", self.name, id.id);
+            return;
+        };
+        let mut line = format!(
+            "{}/{}  time: [{} {} {}]",
+            self.name,
+            id.id,
+            fmt_time(m.min),
+            fmt_time(m.mean),
+            fmt_time(m.max)
+        );
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let gib = n as f64 / m.mean / (1024.0 * 1024.0 * 1024.0) * 1e9;
+            let _ = write!(line, "  thrpt: {gib:.3} GiB/s");
+        }
+        println!("{line}");
+    }
+}
+
+struct Measurement {
+    /// Per-iteration nanoseconds.
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+/// Passed to each benchmark closure; `iter`/`iter_with_setup` run the
+/// measurement.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: how many iterations fit in the warmup window?
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let budget = self.measurement_time.as_nanos() as f64;
+        let k = ((budget / self.sample_size as f64 / per_iter).floor() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..k {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / k as f64);
+        }
+        self.result = Some(summarize(&samples));
+    }
+
+    pub fn iter_with_setup<S, O, Setup, Routine>(&mut self, mut setup: Setup, mut routine: Routine)
+    where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        // Setup runs outside the timed region; batch size is 1 since each
+        // iteration consumes one setup product.
+        let warm_start = Instant::now();
+        let mut warmed = false;
+        while warm_start.elapsed() < self.warm_up_time || !warmed {
+            let s = setup();
+            black_box(routine(s));
+            warmed = true;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let s = setup();
+            let t0 = Instant::now();
+            black_box(routine(s));
+            samples.push(t0.elapsed().as_nanos() as f64);
+        }
+        self.result = Some(summarize(&samples));
+    }
+}
+
+fn summarize(samples: &[f64]) -> Measurement {
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Measurement { min, mean, max }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes --bench (and possibly filters); ignore them.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("shim");
+        let mut count = 0u64;
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                count += 1;
+                std::hint::black_box(count)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter_with_setup(|| vec![0u8; n as usize], |v| v.len())
+        });
+        g.finish();
+        assert!(count > 5);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(12.0), "12.00 ns");
+        assert!(fmt_time(1_500.0).contains("µs"));
+        assert!(fmt_time(2_000_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `crossbeam` crate: the `channel` and
+//! `sync::WaitGroup` subset this workspace uses, built on `std::sync::mpsc`
+//! (whose `Sender` has been `Sync` since Rust 1.72) and a counted
+//! mutex/condvar pair.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Unbounded MPMC-in-spirit channel (MPSC here, which is all we need).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+}
+
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Reference-counted rendezvous: `wait()` blocks until every clone has
+    /// been dropped.
+    pub struct WaitGroup {
+        inner: Arc<Inner>,
+    }
+
+    struct Inner {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    impl WaitGroup {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            WaitGroup {
+                inner: Arc::new(Inner {
+                    count: Mutex::new(1),
+                    zero: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drop this handle and block until all other clones are dropped.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self); // decrement our own count
+            let mut n = inner.count.lock().unwrap();
+            while *n > 0 {
+                n = inner.zero.wait(n).unwrap();
+            }
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self.inner.count.lock().unwrap() += 1;
+            WaitGroup {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut n = self.inner.count.lock().unwrap();
+            *n -= 1;
+            if *n == 0 {
+                self.inner.zero.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use super::sync::WaitGroup;
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41).unwrap())
+            .join()
+            .unwrap();
+        tx.send(1).unwrap();
+        let got: Vec<i32> = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        assert_eq!(got.iter().sum::<i32>(), 42);
+    }
+
+    #[test]
+    fn waitgroup_blocks_until_clones_drop() {
+        let wg = WaitGroup::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let w = wg.clone();
+            handles.push(std::thread::spawn(move || drop(w)));
+        }
+        wg.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand 0.8` API subset this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::{gen, gen_range, fill}`. The generator is
+//! xoshiro256++ seeded via SplitMix64 — deterministic for a given seed, which
+//! is all the workloads rely on (they derive expectations from the data they
+//! generate, never from externally fixed streams).
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface. Only the methods the workspace calls are provided.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of `T` from its "standard" distribution
+    /// (full integer range; `[0, 1)` for floats).
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<std::ops::Range<T>>,
+        Self: Sized,
+    {
+        let r = range.into();
+        T::sample_uniform(self, r.start, r.end)
+    }
+
+    /// Fill the byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait SampleStandard {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+/// Types samplable by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    fn sample_uniform<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_int_sampling {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let x = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + x) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sampling!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sampling {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+                // 53 mantissa bits -> uniform in [0, 1)
+                (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let u = <$t as SampleStandard>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_sampling!(f32, f64);
+
+impl SampleStandard for bool {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ generator, seeded through SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&y));
+            let z: i64 = r.gen_range(-50..-40);
+            assert!((-50..-40).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            let u = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+            acc += u;
+        }
+        assert!((acc / 1000.0 - 0.5).abs() < 0.05, "mean far from 0.5");
+    }
+
+    #[test]
+    fn fill_covers_slice() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

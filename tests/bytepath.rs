@@ -1,0 +1,383 @@
+//! Pooled/zero-copy byte-path equivalence: `buffer_pool` must affect
+//! wall-clock time only. Every observable of a job — simulated seconds,
+//! output file bytes, counters, metrics, record counts — has to be
+//! identical whether shuffle streams and segment buffers come from the
+//! per-place pools or from fresh allocations. The raw-key sort fast path is
+//! exercised implicitly (natural comparators throughout fig6/fig7) and its
+//! fallback explicitly (a custom descending comparator), and the pooled
+//! buffers must recycle across the jobs of one engine.
+//!
+//! Simulated time is compared through `f64::to_bits`, bit-for-bit: pool
+//! traffic is never charged to the cost model, so the clocks must agree
+//! exactly at the default cost model (`compute_scale` 0.0).
+
+use std::sync::Arc;
+
+use hadoop_engine::{EngineOptions, HadoopEngine};
+use hmr_api::comparator::KeyComparator;
+use hmr_api::conf::JobConf;
+use hmr_api::io::{InputFormat, OutputFormat, SequenceFileInputFormat, SequenceFileOutputFormat};
+use hmr_api::job::{Engine, JobDef, JobResult};
+use hmr_api::task::{IdentityMapper, IdentityReducer, TaskMapper, TaskReducer};
+use hmr_api::writable::{BytesWritable, IntWritable, Text};
+use hmr_api::{FileSystem, HPath};
+use m3r::{M3REngine, M3ROptions};
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+use workloads::matvec::{generate_matvec_input, run_matvec_iterations};
+use workloads::microbench::{generate_microbench_input, run_microbench};
+use x10rt::serialize::DedupMode;
+
+const PLACES: usize = 4;
+const PARTS: usize = 8;
+
+fn fresh() -> (Cluster, SimDfs) {
+    let cluster = Cluster::new(PLACES, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+    (cluster, fs)
+}
+
+fn m3r_opts(buffer_pool: bool) -> M3ROptions {
+    M3ROptions {
+        worker_threads: 2,
+        buffer_pool,
+        ..M3ROptions::default()
+    }
+}
+
+fn hadoop_opts(buffer_pool: bool) -> EngineOptions {
+    EngineOptions {
+        map_slots_per_node: 2,
+        reduce_slots_per_node: 2,
+        sort_buffer_bytes: 1 << 14,
+        buffer_pool,
+        ..EngineOptions::default()
+    }
+}
+
+/// Every `part-*` file under `dir`, name + raw bytes.
+fn part_bytes(fs: &SimDfs, dir: &str) -> Vec<(String, bytes::Bytes)> {
+    (0..PARTS)
+        .filter_map(|p| {
+            let name = format!("{dir}/part-{p:05}");
+            let path = HPath::new(name.as_str());
+            fs.exists(&path)
+                .then(|| (name, hmr_api::fs::read_file(fs, &path).unwrap()))
+        })
+        .collect()
+}
+
+fn assert_same_result(off: &JobResult, on: &JobResult, what: &str) {
+    assert_eq!(
+        off.sim_time.to_bits(),
+        on.sim_time.to_bits(),
+        "{what}: simulated seconds must be bit-identical (pool off {} vs on {})",
+        off.sim_time,
+        on.sim_time,
+    );
+    assert_eq!(off.counters, on.counters, "{what}: counters differ");
+    assert_eq!(off.metrics, on.metrics, "{what}: metrics differ");
+    assert_eq!(
+        off.output_records, on.output_records,
+        "{what}: output record counts differ"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// fig6: the shuffle microbenchmark, both engines
+// ---------------------------------------------------------------------------
+
+fn fig6_m3r(buffer_pool: bool) -> (Vec<JobResult>, Vec<(String, bytes::Bytes)>, u64) {
+    let (cluster, fs) = fresh();
+    generate_microbench_input(&fs, &HPath::new("/in"), 192, 64, PARTS, 11).unwrap();
+    let mut engine = M3REngine::with_options(cluster, Arc::new(fs.clone()), m3r_opts(buffer_pool));
+    let results = run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/mb"),
+        0.75,
+        3,
+        PARTS,
+        true,
+        Some(&fs),
+    )
+    .unwrap();
+    let hits = engine.cluster().metrics().pool_hits();
+    (results, part_bytes(&fs, "/mb/iter2"), hits)
+}
+
+#[test]
+fn fig6_microbench_pool_toggle_is_invisible_m3r() {
+    let (off, off_parts, off_hits) = fig6_m3r(false);
+    let (on, on_parts, on_hits) = fig6_m3r(true);
+    assert_eq!(off.len(), on.len());
+    for (i, (o, n)) in off.iter().zip(&on).enumerate() {
+        assert_same_result(o, n, &format!("fig6 m3r iter {i}"));
+    }
+    assert_eq!(off_parts, on_parts, "fig6 m3r: output bytes differ");
+    assert_eq!(off_hits, 0, "pool off must never touch the pool");
+    assert!(on_hits > 0, "pooled run reuses buffers across waves/jobs");
+}
+
+fn fig6_hadoop(buffer_pool: bool) -> (Vec<JobResult>, Vec<(String, bytes::Bytes)>) {
+    let (cluster, fs) = fresh();
+    generate_microbench_input(&fs, &HPath::new("/in"), 192, 64, PARTS, 11).unwrap();
+    let mut engine =
+        HadoopEngine::with_options(cluster, Arc::new(fs.clone()), hadoop_opts(buffer_pool));
+    let results = run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/mb"),
+        0.75,
+        2,
+        PARTS,
+        false,
+        None,
+    )
+    .unwrap();
+    (results, part_bytes(&fs, "/mb/iter1"))
+}
+
+#[test]
+fn fig6_microbench_pool_toggle_is_invisible_hadoop() {
+    let (off, off_parts) = fig6_hadoop(false);
+    let (on, on_parts) = fig6_hadoop(true);
+    assert_eq!(off.len(), on.len());
+    for (i, (o, n)) in off.iter().zip(&on).enumerate() {
+        assert_same_result(o, n, &format!("fig6 hadoop iter {i}"));
+    }
+    assert_eq!(off_parts, on_parts, "fig6 hadoop: output bytes differ");
+}
+
+// ---------------------------------------------------------------------------
+// fig7: the matrix-vector iteration (broadcast-heavy dedup streams)
+// ---------------------------------------------------------------------------
+
+fn fig7_m3r(buffer_pool: bool) -> (Vec<f64>, Vec<(String, bytes::Bytes)>) {
+    let (cluster, fs) = fresh();
+    generate_matvec_input(&fs, &HPath::new("/g"), &HPath::new("/v0"), 64, 16, 0.05, PARTS, 3)
+        .unwrap();
+    let mut engine = M3REngine::with_options(cluster, Arc::new(fs.clone()), m3r_opts(buffer_pool));
+    let iters = run_matvec_iterations(
+        &mut engine,
+        &HPath::new("/g"),
+        &HPath::new("/v0"),
+        &HPath::new("/w"),
+        2,
+        PARTS,
+        4,
+    )
+    .unwrap();
+    let times = iters.iter().map(|it| it.sim_time()).collect();
+    (times, part_bytes(&fs, "/w/v2"))
+}
+
+#[test]
+fn fig7_matvec_pool_toggle_is_invisible() {
+    let (off_times, off_parts) = fig7_m3r(false);
+    let (on_times, on_parts) = fig7_m3r(true);
+    for (i, (o, n)) in off_times.iter().zip(&on_times).enumerate() {
+        assert_eq!(
+            o.to_bits(),
+            n.to_bits(),
+            "fig7 iter {i}: simulated seconds differ ({o} vs {n})"
+        );
+    }
+    assert_eq!(off_parts, on_parts, "fig7: output vector bytes differ");
+}
+
+// ---------------------------------------------------------------------------
+// Custom sort comparator: the raw-key fast path must stand down and the
+// decoded-comparator fallback must behave identically under the pool.
+// ---------------------------------------------------------------------------
+
+/// Identity job sorting keys in DESCENDING order — `IntWritable` has a raw
+/// sort key, but the custom comparator forces the boxed fallback.
+struct DescendingJob;
+
+impl JobDef for DescendingJob {
+    type K1 = IntWritable;
+    type V1 = Text;
+    type K2 = IntWritable;
+    type V2 = Text;
+    type K3 = IntWritable;
+    type V3 = Text;
+    fn create_mapper(&self, _c: &JobConf) -> Box<dyn TaskMapper<IntWritable, Text, IntWritable, Text>> {
+        Box::new(IdentityMapper)
+    }
+    fn create_reducer(
+        &self,
+        _c: &JobConf,
+    ) -> Box<dyn TaskReducer<IntWritable, Text, IntWritable, Text>> {
+        Box::new(IdentityReducer)
+    }
+    fn input_format(&self, _c: &JobConf) -> Box<dyn InputFormat<IntWritable, Text>> {
+        Box::new(SequenceFileInputFormat::new())
+    }
+    fn output_format(&self, _c: &JobConf) -> Box<dyn OutputFormat<IntWritable, Text>> {
+        Box::new(SequenceFileOutputFormat::new())
+    }
+    fn sort_comparator(&self) -> KeyComparator<IntWritable> {
+        KeyComparator::new(|a: &IntWritable, b: &IntWritable| b.0.cmp(&a.0))
+    }
+    fn name(&self) -> &str {
+        "descending"
+    }
+}
+
+fn run_descending<E: Engine>(engine: &mut E, fs: &SimDfs) -> (JobResult, Vec<(String, bytes::Bytes)>) {
+    let records: Vec<(IntWritable, Text)> = (0..100)
+        .map(|i| (IntWritable((i * 37) % 100), Text::from(format!("v{i}"))))
+        .collect();
+    hmr_api::io::seqfile::write_seq_file(fs, &HPath::new("/in/part-00000"), &records).unwrap();
+    let mut conf = JobConf::new();
+    conf.add_input_path(&HPath::new("/in"));
+    conf.set_output_path(&HPath::new("/out"));
+    conf.set_num_reduce_tasks(2);
+    let result = engine.run_job(Arc::new(DescendingJob), &conf).unwrap();
+    (result, part_bytes(fs, "/out"))
+}
+
+#[test]
+fn custom_comparator_job_is_pool_invariant_on_both_engines() {
+    let mut outputs = Vec::new();
+    for buffer_pool in [false, true] {
+        let (cluster, fs) = fresh();
+        let mut engine =
+            M3REngine::with_options(cluster, Arc::new(fs.clone()), m3r_opts(buffer_pool));
+        outputs.push(run_descending(&mut engine, &fs));
+
+        let (cluster, fs) = fresh();
+        let mut engine =
+            HadoopEngine::with_options(cluster, Arc::new(fs.clone()), hadoop_opts(buffer_pool));
+        outputs.push(run_descending(&mut engine, &fs));
+    }
+    let (m3r_off, hadoop_off, m3r_on, hadoop_on) = (
+        &outputs[0], &outputs[1], &outputs[2], &outputs[3],
+    );
+    assert_same_result(&m3r_off.0, &m3r_on.0, "descending m3r");
+    assert_same_result(&hadoop_off.0, &hadoop_on.0, "descending hadoop");
+    assert_eq!(m3r_off.1, m3r_on.1, "descending m3r: output bytes differ");
+    assert_eq!(hadoop_off.1, hadoop_on.1, "descending hadoop: output bytes differ");
+    // Both engines agree on the (descending) output contents.
+    assert_eq!(m3r_on.1, hadoop_on.1, "engines disagree on descending sort");
+    // And the order really is descending — the fallback ran.
+    let (_, bytes) = &m3r_on.1[0];
+    let (_, fs) = fresh();
+    hmr_api::fs::write_file(&fs, &HPath::new("/chk"), bytes).unwrap();
+    let back: Vec<(IntWritable, Text)> =
+        hmr_api::io::seqfile::read_seq_file(&fs, &HPath::new("/chk")).unwrap();
+    assert!(!back.is_empty());
+    for w in back.windows(2) {
+        assert!(w[0].0 .0 >= w[1].0 .0, "output not descending");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool lifecycle: buffers survive across jobs within one engine
+// ---------------------------------------------------------------------------
+
+#[test]
+fn buffer_pool_reuses_buffers_across_jobs() {
+    let (cluster, fs) = fresh();
+    generate_microbench_input(&fs, &HPath::new("/in"), 192, 64, PARTS, 11).unwrap();
+    let mut engine = M3REngine::with_options(cluster, Arc::new(fs.clone()), m3r_opts(true));
+    run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/a"),
+        1.0,
+        1,
+        PARTS,
+        true,
+        Some(&fs),
+    )
+    .unwrap();
+    let hits_after_first = engine.cluster().metrics().pool_hits();
+    let free_after_first: usize = engine
+        .buffer_pools()
+        .iter()
+        .map(|p| p.free_count())
+        .sum();
+    assert!(
+        free_after_first > 0,
+        "finished shuffle buffers return to the pools once receivers drop them"
+    );
+    run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/b"),
+        1.0,
+        1,
+        PARTS,
+        true,
+        Some(&fs),
+    )
+    .unwrap();
+    let hits_after_second = engine.cluster().metrics().pool_hits();
+    assert!(
+        hits_after_second > hits_after_first,
+        "the second job draws the first job's buffers ({hits_after_first} -> {hits_after_second})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Consecutive-mode dedup eviction over pooled (recycled) buffers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn consecutive_dedup_eviction_is_identical_on_recycled_buffers() {
+    use m3r::shuffle::{decode_stream, ShuffleStream};
+    use simgrid::BufPool;
+
+    let pool = BufPool::new();
+    // More distinct broadcast values than the window (4) holds, each sent
+    // twice with the repeat inside the window — the sliding window must
+    // evict the oldest values as fresh ones arrive, and still catch every
+    // in-window repeat.
+    let values: Vec<Arc<BytesWritable>> = (0..8)
+        .map(|i| Arc::new(BytesWritable(vec![i as u8; 300])))
+        .collect();
+    let run = |mut stream: ShuffleStream| {
+        for (i, v) in values.iter().enumerate() {
+            stream.push(i % PARTS, &Arc::new(IntWritable(i as i32)), v);
+            stream.push((i + 1) % PARTS, &Arc::new(IntWritable(i as i32)), v);
+        }
+        stream.finish()
+    };
+
+    let (first, stats_first) = run(ShuffleStream::with_buffer(
+        pool.get(1024),
+        DedupMode::Consecutive,
+    ));
+    assert_eq!(stats_first.dedup_hits, 8, "every in-window repeat caught");
+    assert!(
+        stats_first.values_retained <= 4,
+        "window stays O(1): {} values retained",
+        stats_first.values_retained
+    );
+    let decoded: Vec<_> = decode_stream::<IntWritable, BytesWritable>(first.clone())
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(decoded.len(), 16);
+    for pair in decoded.chunks(2) {
+        assert!(
+            Arc::ptr_eq(&pair[0].2, &pair[1].2),
+            "in-window repeat decodes to an alias"
+        );
+    }
+    drop(decoded);
+
+    // Recycle the buffer and encode the same records again: the recycled
+    // (grown) buffer must produce byte-identical output.
+    let first_copy = first.to_vec();
+    pool.reclaim(first);
+    assert_eq!(pool.free_count(), 1, "sole handle reclaims into the pool");
+    let (second, stats_second) = run(ShuffleStream::with_buffer(
+        pool.get(1024),
+        DedupMode::Consecutive,
+    ));
+    assert_eq!(pool.free_count(), 0, "recycled buffer is in use again");
+    assert_eq!(stats_second.dedup_hits, stats_first.dedup_hits);
+    assert_eq!(first_copy, second.to_vec(), "recycled buffer changes bytes");
+}

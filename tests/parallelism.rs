@@ -29,7 +29,7 @@ use hmr_api::io::{InputFormat, OutputFormat, SequenceFileOutputFormat};
 use hmr_api::job::{Engine, JobDef, JobResult};
 use hmr_api::task::{LongSumReducer, TaskMapper, TaskReducer};
 use hmr_api::writable::{LongWritable, Text};
-use hmr_api::HPath;
+use hmr_api::{FileSystem, HPath};
 use m3r::{M3REngine, M3ROptions};
 use simdfs::SimDfs;
 use simgrid::{Cluster, CostModel};
@@ -61,13 +61,14 @@ fn hadoop_opts(real_parallelism: bool) -> EngineOptions {
         sort_buffer_bytes: 1 << 16,
         max_task_attempts: 4,
         real_parallelism,
+        ..EngineOptions::default()
     }
 }
 
 /// Raw bytes of every part file under `dir`, in partition order. Comparing
 /// file bytes (not decoded records) is the strongest form of "identical
 /// outputs".
-fn part_bytes(fs: &SimDfs, dir: &str) -> Vec<(String, Vec<u8>)> {
+fn part_bytes(fs: &SimDfs, dir: &str) -> Vec<(String, bytes::Bytes)> {
     (0..PARTS)
         .filter_map(|p| {
             let name = format!("{dir}/part-{p:05}");
@@ -98,7 +99,7 @@ fn assert_same_result(serial: &JobResult, parallel: &JobResult, what: &str) {
 // fig6: the shuffle microbenchmark
 // ---------------------------------------------------------------------------
 
-fn fig6_m3r(real_parallelism: bool) -> (Vec<JobResult>, Vec<(String, Vec<u8>)>) {
+fn fig6_m3r(real_parallelism: bool) -> (Vec<JobResult>, Vec<(String, bytes::Bytes)>) {
     let (cluster, fs) = fresh();
     generate_microbench_input(&fs, &HPath::new("/in"), 192, 64, PARTS, 11).unwrap();
     let mut engine = M3REngine::with_options(
@@ -120,7 +121,7 @@ fn fig6_m3r(real_parallelism: bool) -> (Vec<JobResult>, Vec<(String, Vec<u8>)>) 
     (results, part_bytes(&fs, "/mb/iter2"))
 }
 
-fn fig6_hadoop(real_parallelism: bool) -> (Vec<JobResult>, Vec<(String, Vec<u8>)>) {
+fn fig6_hadoop(real_parallelism: bool) -> (Vec<JobResult>, Vec<(String, bytes::Bytes)>) {
     let (cluster, fs) = fresh();
     generate_microbench_input(&fs, &HPath::new("/in"), 192, 64, PARTS, 11).unwrap();
     let mut engine = HadoopEngine::with_options(
@@ -183,7 +184,7 @@ fn parallel_runs_are_repeatable() {
 // fig7: iterated sparse-matrix × dense-vector multiply
 // ---------------------------------------------------------------------------
 
-fn fig7_m3r(real_parallelism: bool) -> (Vec<f64>, Vec<(String, Vec<u8>)>) {
+fn fig7_m3r(real_parallelism: bool) -> (Vec<f64>, Vec<(String, bytes::Bytes)>) {
     let (cluster, fs) = fresh();
     let n = 60;
     let block = 20;
@@ -331,7 +332,7 @@ fn wc_conf() -> JobConf {
     conf
 }
 
-fn grouped_wc_m3r(real_parallelism: bool) -> (JobResult, Vec<(String, Vec<u8>)>) {
+fn grouped_wc_m3r(real_parallelism: bool) -> (JobResult, Vec<(String, bytes::Bytes)>) {
     let (cluster, fs) = fresh();
     write_wc_input(&fs);
     let mut engine = M3REngine::with_options(
@@ -343,7 +344,7 @@ fn grouped_wc_m3r(real_parallelism: bool) -> (JobResult, Vec<(String, Vec<u8>)>)
     (result, part_bytes(&fs, "/out"))
 }
 
-fn grouped_wc_hadoop(real_parallelism: bool) -> (JobResult, Vec<(String, Vec<u8>)>) {
+fn grouped_wc_hadoop(real_parallelism: bool) -> (JobResult, Vec<(String, bytes::Bytes)>) {
     let (cluster, fs) = fresh();
     write_wc_input(&fs);
     let mut engine = HadoopEngine::with_options(
