@@ -11,7 +11,7 @@ use hmr_api::partition::FnPartitioner;
 use hmr_api::writable::{BytesWritable, IntWritable};
 use hmr_api::HPath;
 use m3r::{DedupMode, M3REngine, M3ROptions};
-use m3r_bench::{fresh, print_table, secs, NODES};
+use m3r_bench::{fresh, secs, BenchReport, NODES};
 use std::sync::Arc;
 use workloads::matvec::{generate_matvec_input, run_matvec_iterations};
 use workloads::microbench::{generate_microbench_input, run_microbench};
@@ -19,17 +19,19 @@ use workloads::textgen::generate_text;
 use workloads::wordcount::{run_wordcount, WcStyle};
 
 fn main() {
-    dedup_ablation();
-    stability_ablation();
-    cache_ablation();
-    immutable_ablation();
+    let mut report = BenchReport::new("ablations");
+    dedup_ablation(&mut report);
+    stability_ablation(&mut report);
+    cache_ablation(&mut report);
+    immutable_ablation(&mut report);
+    report.finish().unwrap();
 }
 
 fn engine_with(opts: M3ROptions, fs: simdfs::SimDfs, cluster: simgrid::Cluster) -> M3REngine {
     M3REngine::with_options(cluster, Arc::new(fs), opts)
 }
 
-fn dedup_ablation() {
+fn dedup_ablation(report: &mut BenchReport) {
     let mut rows = Vec::new();
     for (label, mode) in [
         ("full", DedupMode::Full),
@@ -65,14 +67,14 @@ fn dedup_ablation() {
             .sum::<u64>();
         rows.push(vec![label.to_string(), secs(time), net.to_string()]);
     }
-    print_table(
+    report.table(
         "Ablation: shuffle de-duplication (matvec broadcast)",
         &["dedup", "time_s", "net_bytes"],
-        &rows,
+        rows,
     );
 }
 
-fn stability_ablation() {
+fn stability_ablation(report: &mut BenchReport) {
     let mut rows = Vec::new();
     for (label, stable) in [("stable", true), ("unstable", false)] {
         let (cluster, fs) = fresh(NODES, 1.0);
@@ -109,14 +111,14 @@ fn stability_ablation() {
             .sum();
         rows.push(vec![label.to_string(), secs(time), remote.to_string()]);
     }
-    print_table(
+    report.table(
         "Ablation: partition stability (0%-remote pipeline)",
         &["mode", "time_s", "remote_records"],
-        &rows,
+        rows,
     );
 }
 
-fn cache_ablation() {
+fn cache_ablation(report: &mut BenchReport) {
     let mut rows = Vec::new();
     for (label, cache) in [("cache_on", true), ("cache_off", false)] {
         let (cluster, fs) = fresh(NODES, 1.0);
@@ -146,14 +148,14 @@ fn cache_ablation() {
         let time = cluster.max_time();
         rows.push(vec![label.to_string(), secs(time)]);
     }
-    print_table(
+    report.table(
         "Ablation: input/output cache (same input read twice)",
         &["mode", "total_time_s"],
-        &rows,
+        rows,
     );
 }
 
-fn immutable_ablation() {
+fn immutable_ablation(report: &mut BenchReport) {
     let mut rows = Vec::new();
     for (label, style) in [
         ("immutable", WcStyle::FreshText),
@@ -170,9 +172,9 @@ fn immutable_ablation() {
             r.metrics.clone_bytes.to_string(),
         ]);
     }
-    print_table(
+    report.table(
         "Ablation: ImmutableOutput vs default cloning (WordCount on M3R)",
         &["mode", "time_s", "clone_bytes"],
-        &rows,
+        rows,
     );
 }

@@ -3,7 +3,7 @@
 //! here), Hadoop vs M3R.
 
 use hmr_api::HPath;
-use m3r_bench::{fresh, print_table, secs, NODES};
+use m3r_bench::{fresh, secs, BenchReport, NODES};
 use std::sync::Arc;
 use sysml::block::generate_blocked_sparse;
 use sysml::dense::DenseMatrix;
@@ -43,9 +43,11 @@ fn main() {
         rows_out.push(cells);
     }
 
-    print_table(
+    let mut report = BenchReport::new("fig10");
+    report.table(
         "Figure 10: SystemML linear regression (3 CG iterations)",
         &["points", "hadoop_s", "m3r_s"],
-        &rows_out,
+        rows_out,
     );
+    report.finish().unwrap();
 }

@@ -2,7 +2,7 @@
 //! link matrix G), Hadoop vs M3R.
 
 use hmr_api::HPath;
-use m3r_bench::{fresh, print_table, secs, NODES};
+use m3r_bench::{fresh, secs, BenchReport, NODES};
 use std::sync::Arc;
 use sysml::block::generate_blocked_sparse;
 use sysml::pagerank::run_pagerank;
@@ -38,9 +38,11 @@ fn main() {
         rows_out.push(cells);
     }
 
-    print_table(
+    let mut report = BenchReport::new("fig11");
+    report.table(
         "Figure 11: SystemML PageRank (3 iterations)",
         &["graph_nodes", "hadoop_s", "m3r_s"],
-        &rows_out,
+        rows_out,
     );
+    report.finish().unwrap();
 }

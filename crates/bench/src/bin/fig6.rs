@@ -9,7 +9,7 @@
 use hmr_api::partition::FnPartitioner;
 use hmr_api::writable::{BytesWritable, IntWritable};
 use hmr_api::HPath;
-use m3r_bench::{fresh, print_table, secs, NODES};
+use m3r_bench::{fresh, secs, BenchReport, NODES};
 use std::sync::Arc;
 use workloads::microbench::{generate_microbench_input, run_microbench};
 
@@ -90,14 +90,16 @@ fn main() {
     }
 
     let header = ["remote_pct", "iteration1_s", "iteration2_s", "iteration3_s"];
-    print_table(
+    let mut report = BenchReport::new("fig6");
+    report.table(
         "Figure 6 (left): Hadoop — running time vs remote shuffle %",
         &header,
-        &hadoop_rows,
+        hadoop_rows,
     );
-    print_table(
+    report.table(
         "Figure 6 (right): M3R — running time vs remote shuffle %",
         &header,
-        &m3r_rows,
+        m3r_rows,
     );
+    report.finish().unwrap();
 }

@@ -9,7 +9,7 @@
 //! row partitioner so only the inherent V broadcast communicates.
 
 use hmr_api::HPath;
-use m3r_bench::{fresh, print_table, secs, NODES};
+use m3r_bench::{fresh, secs, BenchReport, NODES};
 use std::sync::Arc;
 use workloads::matvec::{generate_matvec_input, row_partitioner, run_matvec_iterations};
 
@@ -76,15 +76,17 @@ fn main() {
         ]);
     }
 
-    print_table(
-        "Figure 7: sparse matrix dense vector multiply (3 iterations)",
-        &["rows", "hadoop_s", "m3r_s", "speedup"],
-        &rows_out,
-    );
     // Right-hand panel: the M3R detail series.
     let detail: Vec<Vec<String>> = rows_out
         .iter()
         .map(|r| vec![r[0].clone(), r[2].clone()])
         .collect();
-    print_table("Figure 7 (detail): M3R only", &["rows", "m3r_s"], &detail);
+    let mut report = BenchReport::new("fig7");
+    report.table(
+        "Figure 7: sparse matrix dense vector multiply (3 iterations)",
+        &["rows", "hadoop_s", "m3r_s", "speedup"],
+        rows_out,
+    );
+    report.table("Figure 7 (detail): M3R only", &["rows", "m3r_s"], detail);
+    report.finish().unwrap();
 }

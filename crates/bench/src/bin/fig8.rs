@@ -8,7 +8,7 @@
 //! churn), since none of M3R's other optimizations apply to this job.
 
 use hmr_api::HPath;
-use m3r_bench::{fresh, print_table, secs, NODES};
+use m3r_bench::{fresh, secs, BenchReport, NODES};
 use std::sync::Arc;
 use workloads::textgen::generate_text;
 use workloads::wordcount::{run_wordcount, WcStyle};
@@ -53,7 +53,8 @@ fn main() {
         rows.push(cells);
     }
 
-    print_table(
+    let mut report = BenchReport::new("fig8");
+    report.table(
         "Figure 8: WordCount",
         &[
             "text_mb",
@@ -61,6 +62,7 @@ fn main() {
             "hadoop_reuse_text_s",
             "m3r_s",
         ],
-        &rows,
+        rows,
     );
+    report.finish().unwrap();
 }

@@ -3,7 +3,7 @@
 //! 1000 — scaled here), Hadoop vs M3R running the *identical* job sequence.
 
 use hmr_api::HPath;
-use m3r_bench::{fresh, print_table, secs, NODES};
+use m3r_bench::{fresh, secs, BenchReport, NODES};
 use std::sync::Arc;
 use sysml::block::generate_blocked_sparse;
 use sysml::gnmf::run_gnmf;
@@ -41,9 +41,11 @@ fn main() {
         rows_out.push(cells);
     }
 
-    print_table(
+    let mut report = BenchReport::new("fig9");
+    report.table(
         "Figure 9: SystemML GNMF (3 iterations, rank 10)",
         &["rows", "hadoop_s", "m3r_s"],
-        &rows_out,
+        rows_out,
     );
+    report.finish().unwrap();
 }

@@ -9,7 +9,7 @@
 use hmr_api::partition::FnPartitioner;
 use hmr_api::writable::{BytesWritable, IntWritable};
 use hmr_api::HPath;
-use m3r_bench::{fresh, print_table, secs, NODES};
+use m3r_bench::{fresh, secs, BenchReport, NODES};
 use std::sync::Arc;
 use workloads::microbench::{generate_microbench_input, run_microbench};
 
@@ -61,10 +61,11 @@ fn main() {
     .unwrap()
     .remove(0);
 
-    print_table(
+    let mut report = BenchReport::new("repartition");
+    report.table(
         "Section 6.1.1: repartitioning",
         &["metric", "value"],
-        &[
+        vec![
             vec!["repartition_job_s".into(), secs(rep.sim_time)],
             vec![
                 "remote_records_before".into(),
@@ -84,4 +85,5 @@ fn main() {
             vec!["iter_time_after_s".into(), secs(after.sim_time)],
         ],
     );
+    report.finish().unwrap();
 }

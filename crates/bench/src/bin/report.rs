@@ -1,0 +1,193 @@
+//! Observability report: replay scaled-down fig6/fig7-style workloads on
+//! both engines with simulated-time tracing enabled, then write for each
+//! run
+//!
+//! * `bench-results/trace-<workload>-<engine>.json` — Chrome trace-event
+//!   JSON (open in `chrome://tracing` or <https://ui.perfetto.dev>): one
+//!   lane per place, one slice per map/shuffle/sort/reduce/barrier span,
+//!   in simulated microseconds;
+//! * `bench-results/report-<workload>-<engine>.txt` — the per-job,
+//!   per-phase text rollup, plus the buffer-pool hit rate (pool traffic is
+//!   deliberately outside `MetricsSnapshot`; see `simgrid::metrics`).
+//!
+//! The workloads are the figure harnesses at CI-friendly sizes; the traced
+//! run is bit-identical to an untraced one (asserted by
+//! `tests/observability.rs`), so these reports describe exactly the
+//! simulation the figures measure.
+
+use hmr_api::partition::FnPartitioner;
+use hmr_api::writable::{BytesWritable, IntWritable};
+use hmr_api::HPath;
+use m3r_bench::{fresh, write_bench_file};
+use simgrid::Cluster;
+use std::sync::Arc;
+use workloads::matvec::{generate_matvec_input, row_partitioner, run_matvec_iterations};
+use workloads::microbench::{generate_microbench_input, run_microbench};
+
+// Small enough that the whole binary runs in seconds on a CI runner.
+const NODES: usize = 8;
+const PARTS: usize = NODES;
+
+// fig6-style shuffle microbenchmark.
+const PAIRS: usize = 5_000;
+const VALUE_BYTES: usize = 500;
+const MB_ITERS: usize = 3;
+const MB_FRAC: f64 = 0.5;
+
+// fig7-style sparse matvec.
+const MV_ROWS: usize = 1_000;
+const MV_BLOCK: usize = 100;
+const MV_ITERS: usize = 2;
+
+fn main() {
+    microbench_hadoop();
+    microbench_m3r();
+    matvec_hadoop();
+    matvec_m3r();
+}
+
+/// Export the cluster's trace as Chrome JSON + text report for one run.
+fn export(workload: &str, engine: &str, cluster: &Cluster) {
+    let trace = cluster.trace();
+    assert!(!trace.is_empty(), "traced run produced no spans");
+    let json_path =
+        write_bench_file(&format!("trace-{workload}-{engine}.json"), &trace.chrome_json())
+            .expect("write chrome trace");
+
+    let m = cluster.metrics();
+    let (hits, misses) = (m.pool_hits(), m.pool_misses());
+    let requests = hits + misses;
+    let hit_rate = if requests == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / requests as f64
+    };
+    let mut report = trace.report();
+    report.push_str(&format!(
+        "\nbuffer pool: hits={hits} misses={misses} hit_rate={hit_rate:.1}%\n"
+    ));
+    let txt_path = write_bench_file(&format!("report-{workload}-{engine}.txt"), &report)
+        .expect("write text report");
+
+    println!("\n=== {workload} on {engine} ===");
+    print!("{report}");
+    println!("wrote {}", json_path.display());
+    println!("wrote {}", txt_path.display());
+}
+
+fn microbench_hadoop() {
+    let (cluster, fs) = fresh(NODES, 0.0);
+    generate_microbench_input(&fs, &HPath::new("/in"), PAIRS, VALUE_BYTES, PARTS, 42).unwrap();
+    cluster.trace().enable();
+    let mut engine = hadoop_engine::HadoopEngine::new(cluster.clone(), Arc::new(fs));
+    run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/work"),
+        MB_FRAC,
+        MB_ITERS,
+        PARTS,
+        false,
+        None,
+    )
+    .unwrap();
+    export("microbench", "hadoop", &cluster);
+}
+
+fn microbench_m3r() {
+    let (cluster, fs) = fresh(NODES, 0.0);
+    generate_microbench_input(&fs, &HPath::new("/in"), PAIRS, VALUE_BYTES, PARTS, 42).unwrap();
+    let mut engine = m3r::M3REngine::new(cluster.clone(), Arc::new(fs));
+    // The fig6 protocol: repartition into the stable layout, purge the
+    // cache, reset the cluster, then measure three chained iterations cold.
+    m3r::repartition(&mut engine, &HPath::new("/in"), &HPath::new("/st"), PARTS, || {
+        Box::new(FnPartitioner::new(
+            |k: &IntWritable, _: &BytesWritable, n| k.0.rem_euclid(n as i32) as usize,
+        ))
+    })
+    .unwrap();
+    {
+        use hmr_api::extensions::CacheFsExt;
+        let raw = engine.caching_fs().raw_cache();
+        raw.delete(&HPath::new("/st"), true).unwrap();
+        raw.delete(&HPath::new("/in"), true).unwrap();
+    }
+    engine.cluster().reset();
+    cluster.trace().enable(); // reset cleared the trace; trace the measured runs only
+    let cleanup = Arc::clone(engine.caching_fs());
+    run_microbench(
+        &mut engine,
+        &HPath::new("/st"),
+        &HPath::new("/work"),
+        MB_FRAC,
+        MB_ITERS,
+        PARTS,
+        true,
+        Some(&*cleanup),
+    )
+    .unwrap();
+    export("microbench", "m3r", &cluster);
+}
+
+fn matvec_hadoop() {
+    let (cluster, fs) = fresh(NODES, 1.0);
+    generate_matvec_input(
+        &fs,
+        &HPath::new("/g"),
+        &HPath::new("/v"),
+        MV_ROWS,
+        MV_BLOCK,
+        0.01,
+        PARTS,
+        42,
+    )
+    .unwrap();
+    cluster.trace().enable();
+    let mut engine = hadoop_engine::HadoopEngine::new(cluster.clone(), Arc::new(fs));
+    run_matvec_iterations(
+        &mut engine,
+        &HPath::new("/g"),
+        &HPath::new("/v"),
+        &HPath::new("/work"),
+        MV_ITERS,
+        PARTS,
+        MV_ROWS.div_ceil(MV_BLOCK),
+    )
+    .unwrap();
+    export("matvec", "hadoop", &cluster);
+}
+
+fn matvec_m3r() {
+    let (cluster, fs) = fresh(NODES, 1.0);
+    generate_matvec_input(
+        &fs,
+        &HPath::new("/g"),
+        &HPath::new("/v"),
+        MV_ROWS,
+        MV_BLOCK,
+        0.01,
+        PARTS,
+        42,
+    )
+    .unwrap();
+    let mut engine = m3r::M3REngine::new(cluster.clone(), Arc::new(fs));
+    // fig7 methodology: stable layout + warm cache, measurement starts
+    // after the reset with everything resident.
+    m3r::repartition(&mut engine, &HPath::new("/g"), &HPath::new("/gs"), PARTS, row_partitioner)
+        .unwrap();
+    m3r::repartition(&mut engine, &HPath::new("/v"), &HPath::new("/vs"), PARTS, row_partitioner)
+        .unwrap();
+    cluster.reset();
+    cluster.trace().enable();
+    run_matvec_iterations(
+        &mut engine,
+        &HPath::new("/gs"),
+        &HPath::new("/vs"),
+        &HPath::new("/work"),
+        MV_ITERS,
+        PARTS,
+        MV_ROWS.div_ceil(MV_BLOCK),
+    )
+    .unwrap();
+    export("matvec", "m3r", &cluster);
+}

@@ -53,3 +53,95 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 pub fn secs(v: f64) -> String {
     format!("{v:.2}")
 }
+
+/// Resolve (and create) the `bench-results/` output directory and return
+/// the path for `file` inside it.
+pub fn bench_results_path(file: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("bench-results");
+    std::fs::create_dir_all(dir)?;
+    Ok(dir.join(file))
+}
+
+/// Write `contents` to `bench-results/<file>`, returning the path written.
+pub fn write_bench_file(file: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let path = bench_results_path(file)?;
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// A figure binary's result set: the tables it prints, collected so the
+/// run also lands as machine-readable JSON in `bench-results/<name>.json`.
+///
+/// Every `fig*` binary used to print tables ad hoc; this helper keeps the
+/// text output identical (each [`BenchReport::table`] call prints through
+/// [`print_table`] immediately) while [`BenchReport::finish`] serializes
+/// the same data for scripts to consume — no JSON dependency, the escaper
+/// is shared with the trace exporter ([`simgrid::trace::json_escape`]).
+pub struct BenchReport {
+    name: String,
+    tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+}
+
+impl BenchReport {
+    /// Start a report named `name` (the JSON lands in
+    /// `bench-results/<name>.json`).
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_string(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Print one table (same text format as before) and keep it for the
+    /// JSON emission.
+    pub fn table(&mut self, title: &str, header: &[&str], rows: Vec<Vec<String>>) {
+        print_table(title, header, &rows);
+        self.tables.push((
+            title.to_string(),
+            header.iter().map(|h| h.to_string()).collect(),
+            rows,
+        ));
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        use simgrid::trace::json_escape;
+        let mut out = format!("{{\n  \"name\": \"{}\",\n  \"tables\": [", json_escape(&self.name));
+        for (i, (title, header, rows)) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"title\": \"{}\",\n      \"header\": [{}],\n      \"rows\": [",
+                json_escape(title),
+                header
+                    .iter()
+                    .map(|h| format!("\"{}\"", json_escape(h)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            for (j, row) in rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        [{}]",
+                    row.iter()
+                        .map(|c| format!("\"{}\"", json_escape(c)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write `bench-results/<name>.json` and return the path.
+    pub fn finish(self) -> std::io::Result<std::path::PathBuf> {
+        let path = write_bench_file(&format!("{}.json", self.name), &self.to_json())?;
+        println!("\nwrote {}", path.display());
+        Ok(path)
+    }
+}

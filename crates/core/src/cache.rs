@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use kvstore::{KPath, KvError, KvStore};
+use simgrid::trace;
 
 use hmr_api::fs::HPath;
 
@@ -94,11 +95,26 @@ impl KvCache {
         self.store
             .write_block(place, &kp, CacheMeta { len, records }, seq, len)
             .expect("cache path cannot collide after delete");
+        trace::mark(trace::Phase::Cache, "cache_put", None);
     }
 
     /// Typed lookup. `expected_len` (from a split's byte range) guards
     /// against stale entries; pass `None` to accept any length.
     pub fn get_seq<K: Send + Sync + 'static, V: Send + Sync + 'static>(
+        &self,
+        path: &HPath,
+        expected_len: Option<u64>,
+    ) -> Option<CacheHit<K, V>> {
+        let hit = self.lookup_seq(path, expected_len);
+        trace::mark(
+            trace::Phase::Cache,
+            if hit.is_some() { "cache_hit" } else { "cache_miss" },
+            None,
+        );
+        hit
+    }
+
+    fn lookup_seq<K: Send + Sync + 'static, V: Send + Sync + 'static>(
         &self,
         path: &HPath,
         expected_len: Option<u64>,

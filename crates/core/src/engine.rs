@@ -36,6 +36,7 @@ use hmr_api::io::{part_file_name, InputSplit, OutputFormat};
 use hmr_api::job::{Engine, JobDef, JobResult};
 use hmr_api::writable::{write_vu64, Writable};
 use simgrid::cost::Charge;
+use simgrid::trace::{self, Phase};
 use simgrid::{BufPool, Cluster, Meter};
 use x10rt::serialize::DedupMode;
 use x10rt::World;
@@ -335,14 +336,26 @@ impl Engine for M3REngine {
         let m0 = cluster.metrics().snapshot();
         let conf = Arc::new(conf.clone());
 
+        let tjob = cluster
+            .trace()
+            .begin_job(&format!("{} (m3r)", conf.job_name()));
+
         // Submission is a fast in-memory hand-off, not a jobtracker round
         // trip: "small HMR jobs can run essentially instantly on M3R".
-        cluster.node(0).charge(Charge::Barrier);
+        // Charged through the meter so the submit span captures it; the
+        // charge itself is identical with tracing on or off.
+        simgrid::with_meter(Meter::new(cluster.node(0).clone()), || {
+            trace::span(Phase::Submit, "submit", None, || {
+                simgrid::meter::charge(Charge::Barrier);
+            });
+        });
 
         let fs = Arc::clone(&self.fs);
         let input_format = job.input_format(&conf);
         let splits = simgrid::with_meter(Meter::new(cluster.node(0).clone()), || {
-            input_format.get_splits(&*fs, &conf, nplaces * self.opts.worker_threads)
+            trace::span(Phase::Setup, "get_splits", None, || {
+                input_format.get_splits(&*fs, &conf, nplaces * self.opts.worker_threads)
+            })
         })?;
         let splits: Arc<Vec<Arc<dyn InputSplit>>> = Arc::new(splits);
         let num_reducers = conf.num_reduce_tasks();
@@ -367,7 +380,11 @@ impl Engine for M3REngine {
                     None => {
                         let b = simgrid::with_meter(
                             Meter::new(cluster.node(0).clone()),
-                            || -> Result<Bytes> { fs.open(&path)?.read_all() },
+                            || -> Result<Bytes> {
+                                trace::span(Phase::Setup, "dist_cache", None, || {
+                                    fs.open(&path)?.read_all()
+                                })
+                            },
                         )?;
                         memo.insert(path.clone(), b.clone());
                         b
@@ -427,7 +444,7 @@ impl Engine for M3REngine {
                     let r = map_phase_at_place(
                         place, &job, &conf, &fs, &cluster, &splits, &per_place[place],
                         &shared, &dist_cache, convert, &opts, place_map, num_reducers,
-                        &pool,
+                        &pool, tjob,
                     );
                     shared.record(r);
                 });
@@ -453,7 +470,7 @@ impl Engine for M3REngine {
                     fin.at(place, move |_pc| {
                         let r = reduce_phase_at_place(
                             place, &job, &conf, &fs, &cluster, &shared, &dist_cache,
-                            &opts, place_map, num_reducers, &pool,
+                            &opts, place_map, num_reducers, &pool, tjob,
                         );
                         shared.record(r);
                     });
@@ -507,6 +524,7 @@ fn map_phase_at_place<J: JobDef>(
     place_map: PlaceMap,
     num_reducers: usize,
     pool: &Arc<BufPool>,
+    tjob: u64,
 ) -> Result<()> {
     let node = cluster.node(place);
     let input_format = job.input_format(conf);
@@ -526,50 +544,64 @@ fn map_phase_at_place<J: JobDef>(
     let mut local_acc: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> = HashMap::new();
 
     for wave in my_splits.chunks(opts.worker_threads) {
+        // Scratch clocks start at zero; spans recorded during the wave are
+        // wave-relative and rebase onto the place clock as of wave start.
+        let wave_base = node.clock().now();
         let (results, scratches) = simgrid::pool::run_wave(
             cluster,
             place,
             opts.real_parallelism,
             wave.to_vec(),
             |si: usize| {
-                run_map_task(
-                    place, si, job, conf, fs, &*input_format, &*output_format,
-                    splits[si].as_ref(), shared, dist_cache, convert.clone(), opts,
-                    place_map, num_reducers, nplaces,
-                )
+                let r = trace::span(Phase::Map, "map", Some(si as u64), || {
+                    run_map_task(
+                        place, si, job, conf, fs, &*input_format, &*output_format,
+                        splits[si].as_ref(), shared, dist_cache, convert.clone(), opts,
+                        place_map, num_reducers, nplaces,
+                    )
+                });
+                (r, trace::take_pending())
             },
         );
         // Serialize each task's remote buckets into the place-wide streams
         // in task order, billing the task's own scratch clock — the same
         // charges, in the same stream order, as the sequential execution.
-        for (result, scratch) in results.into_iter().zip(scratches.iter()) {
+        for (i, (result, task_spans)) in results.into_iter().enumerate() {
+            let si = wave[i];
+            let scratch = &scratches[i];
+            cluster.trace().record_rebased(tjob, place, wave_base, task_spans);
             let routed = result?;
             simgrid::with_meter(Meter::new(scratch.clone()), || {
-                for (dest, p, bucket) in &routed.remote {
-                    let stream = streams[*dest].get_or_insert_with(|| {
-                        if opts.buffer_pool {
-                            ShuffleStream::with_buffer(pool.get_any(1024), opts.dedup)
-                        } else {
-                            ShuffleStream::new(opts.dedup)
+                trace::span(Phase::Shuffle, "serialize", Some(si as u64), || {
+                    for (dest, p, bucket) in &routed.remote {
+                        let stream = streams[*dest].get_or_insert_with(|| {
+                            if opts.buffer_pool {
+                                ShuffleStream::with_buffer(pool.get_any(1024), opts.dedup)
+                            } else {
+                                ShuffleStream::new(opts.dedup)
+                            }
+                        });
+                        // Reserve from `serialized_size` hints (plus framing)
+                        // so the bucket appends without re-growing mid-push.
+                        let hint: usize = bucket
+                            .iter()
+                            .map(|(k, v)| k.serialized_size() + v.serialized_size() + 16)
+                            .sum();
+                        stream.reserve(hint);
+                        let before = stream.len();
+                        for (k, v) in bucket {
+                            stream.push(*p, k, v);
                         }
-                    });
-                    // Reserve from `serialized_size` hints (plus framing)
-                    // so the bucket appends without re-growing mid-push.
-                    let hint: usize = bucket
-                        .iter()
-                        .map(|(k, v)| k.serialized_size() + v.serialized_size() + 16)
-                        .sum();
-                    stream.reserve(hint);
-                    let before = stream.len();
-                    for (k, v) in bucket {
-                        stream.push(*p, k, v);
+                        simgrid::meter::charge(Charge::Serialize {
+                            bytes: (stream.len() - before) as u64,
+                        });
+                        *stream_counts[*dest].entry(*p).or_insert(0) += bucket.len() as u64;
                     }
-                    simgrid::meter::charge(Charge::Serialize {
-                        bytes: (stream.len() - before) as u64,
-                    });
-                    *stream_counts[*dest].entry(*p).or_insert(0) += bucket.len() as u64;
-                }
+                })
             });
+            cluster
+                .trace()
+                .record_rebased(tjob, place, wave_base, trace::take_pending());
             for (p, bucket) in routed.local {
                 local_acc.entry(p).or_default().extend(bucket);
             }
@@ -799,6 +831,7 @@ fn reduce_phase_at_place<J: JobDef>(
     place_map: PlaceMap,
     num_reducers: usize,
     pool: &Arc<BufPool>,
+    tjob: u64,
 ) -> Result<()> {
     let node = cluster.node(place);
     let nplaces = cluster.len();
@@ -820,30 +853,32 @@ fn reduce_phase_at_place<J: JobDef>(
     let mut remote: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> =
         HashMap::with_capacity(my_parts.len());
     simgrid::with_meter(Meter::new(node.clone()), || -> Result<()> {
-        for payload in incoming {
-            simgrid::meter::charge(Charge::NetTransfer {
-                bytes: payload.bytes.len() as u64,
-            });
-            simgrid::meter::charge(Charge::Deserialize {
-                bytes: payload.bytes.len() as u64,
-            });
-            for &(p, n) in &payload.counts {
-                remote.entry(p).or_default().reserve(n as usize);
+        trace::span(Phase::Shuffle, "ingest", None, || -> Result<()> {
+            for payload in incoming {
+                simgrid::meter::charge(Charge::NetTransfer {
+                    bytes: payload.bytes.len() as u64,
+                });
+                simgrid::meter::charge(Charge::Deserialize {
+                    bytes: payload.bytes.len() as u64,
+                });
+                for &(p, n) in &payload.counts {
+                    remote.entry(p).or_default().reserve(n as usize);
+                }
+                for rec in decode_stream::<J::K2, J::V2>(payload.bytes.clone()) {
+                    let (p, k, v) = rec?;
+                    remote
+                        .get_mut(&p)
+                        .expect("reserved from the published counts")
+                        .push((k, v));
+                }
+                // The iterator's refcount dropped with the loop; if this was
+                // the last handle the buffer returns to this place's pool.
+                if opts.buffer_pool {
+                    pool.reclaim(payload.bytes);
+                }
             }
-            for rec in decode_stream::<J::K2, J::V2>(payload.bytes.clone()) {
-                let (p, k, v) = rec?;
-                remote
-                    .get_mut(&p)
-                    .expect("reserved from the published counts")
-                    .push((k, v));
-            }
-            // The iterator's refcount dropped with the loop; if this was
-            // the last handle the buffer returns to this place's pool.
-            if opts.buffer_pool {
-                pool.reclaim(payload.bytes);
-            }
-        }
-        Ok(())
+            Ok(())
+        })
     })?;
     let mut local = std::mem::take(&mut *shared.local[place].lock());
 
@@ -860,18 +895,23 @@ fn reduce_phase_at_place<J: JobDef>(
                 (p, pairs)
             })
             .collect();
+        let wave_base = node.clock().now();
         let (results, scratches) = simgrid::pool::run_wave(
             cluster,
             place,
             opts.real_parallelism,
             inputs,
             |(p, pairs): (usize, Vec<(Arc<J::K2>, Arc<J::V2>)>)| {
-                run_reduce_partition(
-                    place, p, job, conf, fs, &*output_format, pairs, shared, dist_cache,
-                )
+                let r = trace::span(Phase::Reduce, "reduce", Some(p as u64), || {
+                    run_reduce_partition(
+                        place, p, job, conf, fs, &*output_format, pairs, shared, dist_cache,
+                    )
+                });
+                (r, trace::take_pending())
             },
         );
-        for result in results {
+        for (result, task_spans) in results {
+            cluster.trace().record_rebased(tjob, place, wave_base, task_spans);
             result?;
         }
         node.clock()
@@ -948,11 +988,13 @@ fn run_reduce_partition<J: JobDef>(
     );
     ctx.set_partition(Some(partition));
 
-    simgrid::meter::charge(Charge::Sort {
-        records: pairs.len() as u64,
+    trace::span(Phase::Sort, "sort", Some(partition as u64), || {
+        simgrid::meter::charge(Charge::Sort {
+            records: pairs.len() as u64,
+        });
+        let sort_cmp = job.sort_comparator();
+        sort_pairs_by(&mut pairs, &sort_cmp);
     });
-    let sort_cmp = job.sort_comparator();
-    sort_pairs_by(&mut pairs, &sort_cmp);
     let group_cmp = job.grouping_comparator();
     let spans = group_spans(&pairs, &group_cmp);
     ctx.incr_task_counter(task_counter::REDUCE_INPUT_RECORDS, pairs.len() as i64);

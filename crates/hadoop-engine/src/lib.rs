@@ -40,6 +40,7 @@ use hmr_api::io::{InputFormat, InputSplit, OutputFormat, RecordWriter};
 use hmr_api::job::{Engine, JobDef, JobResult};
 use hmr_api::writable::Writable;
 use simgrid::cost::Charge;
+use simgrid::trace::{self, Phase};
 use simgrid::{BufPool, Cluster, Meter, NodeId};
 
 use sortbuffer::{decode_segment, SortBuffer};
@@ -200,9 +201,19 @@ impl Engine for HadoopEngine {
         let m0 = cluster.metrics().snapshot();
         let conf = Arc::new(conf.clone());
 
+        let tjob = cluster
+            .trace()
+            .begin_job(&format!("{} (hadoop)", conf.job_name()));
+
         // Submission: jobid from the jobtracker, job configuration and user
-        // code staged to the jobtracker's filesystem (§3.1).
-        cluster.node(0).charge(Charge::JobSubmit);
+        // code staged to the jobtracker's filesystem (§3.1). Charged through
+        // the meter so the submit span captures it; the charge itself is
+        // identical with tracing on or off.
+        simgrid::with_meter(Meter::new(cluster.node(0).clone()), || {
+            trace::span(Phase::Submit, "submit", None, || {
+                simgrid::meter::charge(Charge::JobSubmit);
+            });
+        });
 
         let input_format = job.input_format(&conf);
         let output_format = job.output_format(&conf);
@@ -225,7 +236,7 @@ impl Engine for HadoopEngine {
         // Distributed cache staging, charged to the submitting node.
         let dist_cache = Arc::new(simgrid::with_meter(
             Meter::new(cluster.node(0).clone()),
-            || DistCache::load(&conf, &*self.fs),
+            || trace::span(Phase::Setup, "dist_cache", None, || DistCache::load(&conf, &*self.fs)),
         )?);
 
         // ---- map phase -----------------------------------------------------
@@ -252,7 +263,12 @@ impl Engine for HadoopEngine {
             // slots are real scoped threads; either way each task bills its
             // own scratch clock and results are folded in task order.
             for wave in tasks.chunks(self.opts.map_slots_per_node) {
-                node.charge(Charge::Heartbeat);
+                simgrid::with_meter(Meter::new(node.clone()), || {
+                    trace::span(Phase::Barrier, "heartbeat", None, || {
+                        simgrid::meter::charge(Charge::Heartbeat);
+                    });
+                });
+                let wave_base = node.clock().now();
                 let (results, scratches) = simgrid::pool::run_wave(
                     &cluster,
                     node_id,
@@ -263,26 +279,32 @@ impl Engine for HadoopEngine {
                         // the computation" — failed attempts are retried
                         // (each paying startup again) up to the attempt
                         // limit.
-                        retry_attempts(self.opts.max_task_attempts, || {
-                            run_map_task(
-                                &*job,
-                                &conf,
-                                &*self.fs,
-                                &*input_format,
-                                &*output_format,
-                                splits[task].as_ref(),
-                                task,
-                                num_reducers,
-                                convert.clone(),
-                                &dist_cache,
-                                self.opts.sort_buffer_bytes,
-                                self.opts.buffer_pool.then(|| &*self.pools[node_id]),
-                            )
-                        })
-                        .map(|out| (task, out))
+                        let r = trace::span(Phase::Map, "map", Some(task as u64), || {
+                            retry_attempts(self.opts.max_task_attempts, || {
+                                run_map_task(
+                                    &*job,
+                                    &conf,
+                                    &*self.fs,
+                                    &*input_format,
+                                    &*output_format,
+                                    splits[task].as_ref(),
+                                    task,
+                                    num_reducers,
+                                    convert.clone(),
+                                    &dist_cache,
+                                    self.opts.sort_buffer_bytes,
+                                    self.opts.buffer_pool.then(|| &*self.pools[node_id]),
+                                )
+                            })
+                            .map(|out| (task, out))
+                        });
+                        (r, trace::take_pending())
                     },
                 );
-                for result in results {
+                for (result, task_spans) in results {
+                    cluster
+                        .trace()
+                        .record_rebased(tjob, node_id, wave_base, task_spans);
                     let (task, out) = result?;
                     counters.merge(&out.counters);
                     output_records += out.output_records;
@@ -310,28 +332,44 @@ impl Engine for HadoopEngine {
             for (node_id, parts) in per_node_r.iter().enumerate() {
                 let node = cluster.node(node_id);
                 for wave in parts.chunks(self.opts.reduce_slots_per_node) {
-                    node.charge(Charge::Heartbeat);
+                    simgrid::with_meter(Meter::new(node.clone()), || {
+                        trace::span(Phase::Barrier, "heartbeat", None, || {
+                            simgrid::meter::charge(Charge::Heartbeat);
+                        });
+                    });
+                    let wave_base = node.clock().now();
                     let (results, scratches) = simgrid::pool::run_wave(
                         &cluster,
                         node_id,
                         self.opts.real_parallelism,
                         wave.to_vec(),
                         |partition: usize| {
-                            retry_attempts(self.opts.max_task_attempts, || {
-                                run_reduce_task(
-                                    &*job,
-                                    &conf,
-                                    &*self.fs,
-                                    &*output_format,
-                                    &map_outputs,
-                                    partition,
-                                    &dist_cache,
-                                    self.opts.sort_buffer_bytes,
-                                )
-                            })
+                            let r = trace::span(
+                                Phase::Reduce,
+                                "reduce",
+                                Some(partition as u64),
+                                || {
+                                    retry_attempts(self.opts.max_task_attempts, || {
+                                        run_reduce_task(
+                                            &*job,
+                                            &conf,
+                                            &*self.fs,
+                                            &*output_format,
+                                            &map_outputs,
+                                            partition,
+                                            &dist_cache,
+                                            self.opts.sort_buffer_bytes,
+                                        )
+                                    })
+                                },
+                            );
+                            (r, trace::take_pending())
                         },
                     );
-                    for result in results {
+                    for (result, task_spans) in results {
+                        cluster
+                            .trace()
+                            .record_rebased(tjob, node_id, wave_base, task_spans);
                         let (task_counters, recs) = result?;
                         counters.merge(&task_counters);
                         output_records += recs;
@@ -526,32 +564,38 @@ fn run_reduce_task<J: JobDef>(
     // Shuffle fetch: every map task's segment for this partition.
     let mut total_bytes = 0u64;
     let mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)> = Vec::new();
-    for segments in map_outputs {
-        let Some(seg) = segments.get(partition) else {
-            continue;
-        };
-        if seg.is_empty() {
-            continue;
+    trace::span(Phase::Shuffle, "fetch", Some(partition as u64), || -> Result<()> {
+        for segments in map_outputs {
+            let Some(seg) = segments.get(partition) else {
+                continue;
+            };
+            if seg.is_empty() {
+                continue;
+            }
+            let bytes = seg.len() as u64;
+            total_bytes += bytes;
+            // Read the mapper's local spill file and move it over the
+            // network; §6.1: equal cost for all destinations, local or
+            // remote.
+            simgrid::meter::charge(Charge::DiskRead { bytes });
+            simgrid::meter::charge(Charge::NetTransfer { bytes });
+            pairs.extend(decode_segment::<J::K2, J::V2>(seg)?);
         }
-        let bytes = seg.len() as u64;
-        total_bytes += bytes;
-        // Read the mapper's local spill file and move it over the network;
-        // §6.1: equal cost for all destinations, local or remote.
-        simgrid::meter::charge(Charge::DiskRead { bytes });
-        simgrid::meter::charge(Charge::NetTransfer { bytes });
-        pairs.extend(decode_segment::<J::K2, J::V2>(seg)?);
-    }
-    simgrid::meter::charge(Charge::Deserialize { bytes: total_bytes });
-    if total_bytes as usize > sort_buffer_bytes {
-        // Out-of-core merge: one extra round trip through local disk.
-        simgrid::meter::charge(Charge::DiskWrite { bytes: total_bytes });
-        simgrid::meter::charge(Charge::DiskRead { bytes: total_bytes });
-    }
-    simgrid::meter::charge(Charge::Sort {
-        records: pairs.len() as u64,
+        simgrid::meter::charge(Charge::Deserialize { bytes: total_bytes });
+        Ok(())
+    })?;
+    trace::span(Phase::Sort, "sort", Some(partition as u64), || {
+        if total_bytes as usize > sort_buffer_bytes {
+            // Out-of-core merge: one extra round trip through local disk.
+            simgrid::meter::charge(Charge::DiskWrite { bytes: total_bytes });
+            simgrid::meter::charge(Charge::DiskRead { bytes: total_bytes });
+        }
+        simgrid::meter::charge(Charge::Sort {
+            records: pairs.len() as u64,
+        });
+        let sort_cmp = job.sort_comparator();
+        hmr_api::comparator::sort_pairs_by(&mut pairs, &sort_cmp);
     });
-    let sort_cmp = job.sort_comparator();
-    hmr_api::comparator::sort_pairs_by(&mut pairs, &sort_cmp);
     let group_cmp = job.grouping_comparator();
     let spans = hmr_api::comparator::group_spans(&pairs, &group_cmp);
 

@@ -22,6 +22,7 @@ use hmr_api::task::TaskReducer;
 use hmr_api::writable::{ByteReader, ByteSink, Writable};
 use simgrid::cost::Charge;
 use simgrid::meter;
+use simgrid::trace;
 use simgrid::BufPool;
 
 /// One buffered record: partition, decoded key (sort convenience), and the
@@ -249,16 +250,18 @@ where
         if self.records.is_empty() {
             return Ok(());
         }
-        let run = std::mem::take(&mut self.records);
-        self.buffered_bytes = 0;
-        let run = self.sort_run(run);
-        let run = self.combine(run)?;
-        let bytes: u64 = run.iter().map(|r| r.len() as u64).sum();
-        // The sorted run goes to local disk.
-        meter::charge(Charge::DiskWrite { bytes });
-        self.spills.push(run);
-        self.spill_count += 1;
-        Ok(())
+        trace::span(trace::Phase::Sort, "spill", None, || {
+            let run = std::mem::take(&mut self.records);
+            self.buffered_bytes = 0;
+            let run = self.sort_run(run);
+            let run = self.combine(run)?;
+            let bytes: u64 = run.iter().map(|r| r.len() as u64).sum();
+            // The sorted run goes to local disk.
+            meter::charge(Charge::DiskWrite { bytes });
+            self.spills.push(run);
+            self.spill_count += 1;
+            Ok(())
+        })
     }
 
     /// Final spill + merge into per-partition serialized segments, sorted by
@@ -275,18 +278,20 @@ where
             .flat_map(|s| s.iter())
             .map(|r| r.len() as u64)
             .sum();
-        if num_spills > 1 {
-            // Merge pass over the on-disk runs: read everything back, write
-            // the merged file out.
-            meter::charge(Charge::DiskRead { bytes: total_bytes });
-            meter::charge(Charge::DiskWrite { bytes: total_bytes });
-        }
-        // K-way merge of sorted runs (stable two-run merges preserve the
-        // per-run order for equal keys, like Hadoop's merger).
-        let cmp = self.sort_cmp.clone();
-        let merged = spills
-            .into_iter()
-            .fold(Vec::new(), |acc, run| merge_two(acc, run, &cmp));
+        let merged = trace::span(trace::Phase::Sort, "merge", None, || {
+            if num_spills > 1 {
+                // Merge pass over the on-disk runs: read everything back,
+                // write the merged file out.
+                meter::charge(Charge::DiskRead { bytes: total_bytes });
+                meter::charge(Charge::DiskWrite { bytes: total_bytes });
+            }
+            // K-way merge of sorted runs (stable two-run merges preserve the
+            // per-run order for equal keys, like Hadoop's merger).
+            let cmp = self.sort_cmp.clone();
+            spills
+                .into_iter()
+                .fold(Vec::new(), |acc, run| merge_two(acc, run, &cmp))
+        });
         // Exact per-partition sizes (payload + up to 10 framing bytes per
         // length varint) so each segment buffer is allocated once.
         let mut sizes = vec![0usize; self.num_partitions];

@@ -31,6 +31,7 @@ use hmr_api::error::{HmrError, Result};
 use hmr_api::fs::{FileStatus, FileSystem, FsReader, FsWriter, HPath};
 use simgrid::cost::Charge;
 use simgrid::meter;
+use simgrid::trace;
 
 pub use placement::PlacementPolicy;
 
@@ -190,26 +191,28 @@ impl FsWriter for DfsWriter {
             self.target.as_str().hash(&mut h);
             h.finish()
         };
-        for (chunk_idx, chunk) in chunks.into_iter().enumerate() {
-            let id = inner.next_block.fetch_add(1, Ordering::Relaxed);
-            let replicas = inner.policy.place(
-                local,
-                path_seed.wrapping_add(chunk_idx as u64),
-                inner.replication,
-            );
-            let len = chunk.len() as u64;
-            // Local disk write for the first replica; the replication
-            // pipeline moves the block over the network once per extra
-            // replica and writes it to that node's disk. All latencies are
-            // charged to the writing task (it blocks on the ack chain).
-            meter::charge(Charge::DiskWrite { bytes: len });
-            for _ in 1..replicas.len() {
-                meter::charge(Charge::NetTransfer { bytes: len });
+        trace::span(trace::Phase::Io, "dfs_write", None, || {
+            for (chunk_idx, chunk) in chunks.into_iter().enumerate() {
+                let id = inner.next_block.fetch_add(1, Ordering::Relaxed);
+                let replicas = inner.policy.place(
+                    local,
+                    path_seed.wrapping_add(chunk_idx as u64),
+                    inner.replication,
+                );
+                let len = chunk.len() as u64;
+                // Local disk write for the first replica; the replication
+                // pipeline moves the block over the network once per extra
+                // replica and writes it to that node's disk. All latencies are
+                // charged to the writing task (it blocks on the ack chain).
                 meter::charge(Charge::DiskWrite { bytes: len });
+                for _ in 1..replicas.len() {
+                    meter::charge(Charge::NetTransfer { bytes: len });
+                    meter::charge(Charge::DiskWrite { bytes: len });
+                }
+                inner.blocks.write().insert(id, Bytes::from(chunk));
+                blocks.push(BlockInfo { id, len, replicas });
             }
-            inner.blocks.write().insert(id, Bytes::from(chunk));
-            blocks.push(BlockInfo { id, len, replicas });
-        }
+        });
 
         self.dfs.charge_namenode();
         let mut meta = inner.meta.write();
@@ -259,32 +262,37 @@ impl FsReader for DfsReader {
         // range inside one block returns a zero-copy slice of the stored
         // buffer and only multi-block reads pay a concatenation.
         let mut parts: Vec<Bytes> = Vec::new();
-        for (block_start, info) in self.dfs.blocks_in_range(&self.path, offset, end - offset)? {
-            let bytes = {
-                let blocks = self.dfs.inner.blocks.read();
-                blocks
-                    .get(&info.id)
-                    .ok_or_else(|| {
-                        HmrError::Io(format!("block {} of {} lost", info.id, self.path))
-                    })?
-                    .clone()
-            };
-            let from = offset.saturating_sub(block_start).min(info.len) as usize;
-            let to = (end - block_start).min(info.len) as usize;
-            let slice = bytes.slice(from..to);
-            // Disk read at the replica host; network hop when no replica is
-            // local to the reading task's node.
-            meter::charge(Charge::DiskRead {
-                bytes: slice.len() as u64,
-            });
-            let is_local = local.map(|n| info.replicas.contains(&n)).unwrap_or(true);
-            if !is_local {
-                meter::charge(Charge::NetTransfer {
+        trace::span(trace::Phase::Io, "dfs_read", None, || -> Result<()> {
+            for (block_start, info) in
+                self.dfs.blocks_in_range(&self.path, offset, end - offset)?
+            {
+                let bytes = {
+                    let blocks = self.dfs.inner.blocks.read();
+                    blocks
+                        .get(&info.id)
+                        .ok_or_else(|| {
+                            HmrError::Io(format!("block {} of {} lost", info.id, self.path))
+                        })?
+                        .clone()
+                };
+                let from = offset.saturating_sub(block_start).min(info.len) as usize;
+                let to = (end - block_start).min(info.len) as usize;
+                let slice = bytes.slice(from..to);
+                // Disk read at the replica host; network hop when no replica
+                // is local to the reading task's node.
+                meter::charge(Charge::DiskRead {
                     bytes: slice.len() as u64,
                 });
+                let is_local = local.map(|n| info.replicas.contains(&n)).unwrap_or(true);
+                if !is_local {
+                    meter::charge(Charge::NetTransfer {
+                        bytes: slice.len() as u64,
+                    });
+                }
+                parts.push(slice);
             }
-            parts.push(slice);
-        }
+            Ok(())
+        })?;
         if parts.len() == 1 {
             return Ok(parts.pop().expect("one part"));
         }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crate::clock::{barrier, Clock};
 use crate::cost::{Charge, CostModel};
 use crate::metrics::Metrics;
+use crate::trace::{ChargeTotals, Phase, Span, Trace};
 
 /// Identifies a node (0-based). The paper's testbed has 20 of these.
 pub type NodeId = usize;
@@ -17,6 +18,11 @@ pub struct Node {
     clock: Clock,
     model: Arc<CostModel>,
     metrics: Metrics,
+    trace: Trace,
+    /// True for detached task-measurement nodes whose clock starts at zero
+    /// (see [`Cluster::scratch_node`]); trace spans recorded under a
+    /// scratch meter are wave-relative and buffered for later rebasing.
+    scratch: bool,
 }
 
 impl Node {
@@ -40,12 +46,25 @@ impl Node {
         &self.metrics
     }
 
+    /// The cluster-wide trace recorder.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Whether this is a detached scratch node (zero-based clock).
+    pub fn is_scratch(&self) -> bool {
+        self.scratch
+    }
+
     /// Price `charge`, advance this node's clock by it, and record it in the
     /// metrics. Returns the simulated duration charged.
     pub fn charge(&self, charge: Charge) -> f64 {
         let dt = self.model.price(charge);
         self.metrics.record(charge);
         self.clock.advance(dt);
+        // Attribute to the innermost open trace span, if any. Never touches
+        // clocks or metrics: tracing on/off is simulation-invisible.
+        self.trace.note_charge(charge, dt);
         dt
     }
 }
@@ -68,6 +87,7 @@ pub struct Cluster {
     nodes: Arc<Vec<Node>>,
     model: Arc<CostModel>,
     metrics: Metrics,
+    trace: Trace,
 }
 
 impl Cluster {
@@ -76,18 +96,22 @@ impl Cluster {
         assert!(n >= 1, "a cluster needs at least one node");
         let model = Arc::new(model);
         let metrics = Metrics::new();
+        let trace = Trace::new();
         let nodes = (0..n)
             .map(|id| Node {
                 id,
                 clock: Clock::new(),
                 model: Arc::clone(&model),
                 metrics: metrics.clone(),
+                trace: trace.clone(),
+                scratch: false,
             })
             .collect();
         Cluster {
             nodes: Arc::new(nodes),
             model,
             metrics,
+            trace,
         }
     }
 
@@ -126,6 +150,11 @@ impl Cluster {
         &self.metrics
     }
 
+    /// The cluster-wide trace recorder (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
     /// Latest clock across the cluster — "the job is done when the slowest
     /// node is done".
     pub fn max_time(&self) -> f64 {
@@ -136,16 +165,40 @@ impl Cluster {
     /// barrier cost. Returns the post-barrier time.
     pub fn barrier(&self) -> f64 {
         let clocks: Vec<Clock> = self.nodes.iter().map(|n| n.clock.clone()).collect();
+        // Capture per-place pre-barrier times so each place gets a span
+        // covering its wait for the slowest node.
+        let pre: Option<Vec<f64>> = self
+            .trace
+            .is_enabled()
+            .then(|| self.nodes.iter().map(|n| n.clock.now()).collect());
         self.metrics.record(Charge::Barrier);
-        barrier(&clocks, self.model.barrier)
+        let t = barrier(&clocks, self.model.barrier);
+        if let Some(pre) = pre {
+            let job = self.trace.current_job();
+            for (n, start) in self.nodes.iter().zip(pre) {
+                self.trace.record(Span {
+                    job,
+                    phase: Phase::Barrier,
+                    place: n.id,
+                    task: None,
+                    label: "barrier",
+                    start,
+                    end: t,
+                    charges: ChargeTotals::default(),
+                });
+            }
+        }
+        t
     }
 
-    /// Reset all clocks to zero and clear metrics. Used between experiments.
+    /// Reset all clocks to zero, clear metrics and drop any recorded trace
+    /// spans. Used between experiments.
     pub fn reset(&self) {
         for n in self.nodes.iter() {
             n.clock.reset();
         }
         self.metrics.reset();
+        self.trace.clear();
     }
 
     /// A detached node sharing this cluster's cost model and metrics but
@@ -160,6 +213,8 @@ impl Cluster {
             clock: Clock::new(),
             model: Arc::clone(&self.model),
             metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            scratch: true,
         }
     }
 

@@ -20,6 +20,11 @@
 //! thread-local [`meter`], which lets deep layers (e.g. a filesystem record
 //! reader) bill the task that is currently executing without threading a
 //! handle through every API.
+//!
+//! The [`trace`] module records where simulated time went: per-job,
+//! per-place, per-phase spans with charge totals, rollups, a Chrome
+//! trace-event exporter and a per-job text report. It is disabled by
+//! default and simulation-invisible when enabled.
 
 pub mod bufpool;
 pub mod clock;
@@ -28,6 +33,7 @@ pub mod cost;
 pub mod meter;
 pub mod metrics;
 pub mod pool;
+pub mod trace;
 
 pub use bufpool::BufPool;
 pub use clock::Clock;
@@ -36,3 +42,4 @@ pub use cost::{Charge, CostModel};
 pub use meter::{current_meter, with_meter, Meter};
 pub use metrics::Metrics;
 pub use pool::{run_wave, wave_duration};
+pub use trace::{Phase, Rollup, Span, Trace};

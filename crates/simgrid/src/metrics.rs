@@ -12,42 +12,73 @@ use crate::cost::Charge;
 
 /// Thread-safe counters of simulated work. `Clone` is shallow: clones share
 /// the same underlying counters.
+///
+/// Two families of counters live here:
+///
+/// * **Simulated-work counters** (disk/net/ser/… through `job_submits`) —
+///   deterministic consequences of the cost model, exported via
+///   [`Metrics::snapshot`] and compared bit-for-bit in equivalence tests.
+/// * **Pool effectiveness counters** (`pool_hits` / `pool_misses`) —
+///   wall-clock artifacts of buffer recycling that legitimately differ
+///   between serial and parallel runs. They are deliberately **not** part
+///   of [`MetricsSnapshot`]; they surface instead in the trace reports
+///   (`crate::trace` and the `m3r-bench` `report` binary), which derive a
+///   hit rate from them.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     inner: Arc<MetricsInner>,
 }
 
-#[derive(Debug, Default)]
-struct MetricsInner {
-    disk_bytes_read: AtomicU64,
-    disk_bytes_written: AtomicU64,
-    net_bytes: AtomicU64,
-    ser_bytes: AtomicU64,
-    deser_bytes: AtomicU64,
-    clone_bytes: AtomicU64,
-    allocs: AtomicU64,
-    records_sorted: AtomicU64,
-    task_startups: AtomicU64,
-    heartbeats: AtomicU64,
-    barriers: AtomicU64,
-    job_submits: AtomicU64,
-    // Buffer-pool effectiveness counters. Deliberately NOT part of
-    // `MetricsSnapshot`: snapshots are compared bit-for-bit in equivalence
-    // tests (pool on vs off, serial vs parallel), and pool hit rates are a
-    // wall-clock artifact that legitimately differs between those runs.
-    pool_hits: AtomicU64,
-    pool_misses: AtomicU64,
+/// Single source of truth for every counter: one list expands to the
+/// storage struct, the public getters, and `counter_cells` — which
+/// [`Metrics::reset`] and the drift unit test iterate. A counter added
+/// here is automatically reset; a counter added anywhere else cannot
+/// exist, because this macro *is* the struct definition.
+macro_rules! counters {
+    ($($(#[$doc:meta])* $field:ident),* $(,)?) => {
+        #[derive(Debug, Default)]
+        struct MetricsInner {
+            $($(#[$doc])* $field: AtomicU64,)*
+        }
+
+        impl Metrics {
+            $(
+                #[doc = concat!("Total `", stringify!($field), "` recorded so far.")]
+                pub fn $field(&self) -> u64 {
+                    self.inner.$field.load(Ordering::Relaxed)
+                }
+            )*
+
+            /// Every counter cell with its name, in declaration order.
+            fn counter_cells(&self) -> Vec<(&'static str, &AtomicU64)> {
+                vec![$((stringify!($field), &self.inner.$field)),*]
+            }
+        }
+    };
 }
 
-macro_rules! getters {
-    ($($get:ident: $field:ident),* $(,)?) => {
-        $(
-            #[doc = concat!("Total `", stringify!($field), "` recorded so far.")]
-            pub fn $get(&self) -> u64 {
-                self.inner.$field.load(Ordering::Relaxed)
-            }
-        )*
-    };
+counters! {
+    disk_bytes_read,
+    disk_bytes_written,
+    net_bytes,
+    ser_bytes,
+    deser_bytes,
+    clone_bytes,
+    allocs,
+    records_sorted,
+    task_startups,
+    heartbeats,
+    barriers,
+    job_submits,
+    /// Buffer-pool requests served by a recycled buffer. NOT part of
+    /// `MetricsSnapshot`: snapshots are compared bit-for-bit in equivalence
+    /// tests (pool on vs off, serial vs parallel), and pool hit rates are a
+    /// wall-clock artifact that legitimately differs between those runs.
+    /// Reported (with the derived hit rate) by the trace report instead.
+    pool_hits,
+    /// Buffer-pool requests that needed a fresh allocation. See
+    /// `pool_hits` for why this stays outside the snapshot.
+    pool_misses,
 }
 
 impl Metrics {
@@ -100,23 +131,6 @@ impl Metrics {
         }
     }
 
-    getters! {
-        disk_bytes_read: disk_bytes_read,
-        disk_bytes_written: disk_bytes_written,
-        net_bytes: net_bytes,
-        ser_bytes: ser_bytes,
-        deser_bytes: deser_bytes,
-        clone_bytes: clone_bytes,
-        allocs: allocs,
-        records_sorted: records_sorted,
-        task_startups: task_startups,
-        heartbeats: heartbeats,
-        barriers: barriers,
-        job_submits: job_submits,
-        pool_hits: pool_hits,
-        pool_misses: pool_misses,
-    }
-
     /// Count one buffer-pool request: `hit` when a recycled buffer was
     /// handed out, miss when a fresh allocation was needed.
     pub fn record_pool_request(&self, hit: bool) {
@@ -128,26 +142,12 @@ impl Metrics {
         ctr.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Reset every counter to zero.
+    /// Reset every counter to zero. Iterates the macro-generated
+    /// `counter_cells` list — the same single source the getters come from
+    /// — so a newly added counter can never drift out of reset.
     pub fn reset(&self) {
-        let i = &*self.inner;
-        for a in [
-            &i.disk_bytes_read,
-            &i.disk_bytes_written,
-            &i.net_bytes,
-            &i.ser_bytes,
-            &i.deser_bytes,
-            &i.clone_bytes,
-            &i.allocs,
-            &i.records_sorted,
-            &i.task_startups,
-            &i.heartbeats,
-            &i.barriers,
-            &i.job_submits,
-            &i.pool_hits,
-            &i.pool_misses,
-        ] {
-            a.store(0, Ordering::Relaxed);
+        for (_, cell) in self.counter_cells() {
+            cell.store(0, Ordering::Relaxed);
         }
     }
 
@@ -266,6 +266,25 @@ mod tests {
         m.record(Charge::Sort { records: 9 });
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn reset_covers_every_counter_cell() {
+        // Drift guard: `counter_cells` is generated from the same macro
+        // list as the storage struct, so bumping every cell and resetting
+        // proves no counter — present or future — escapes `reset`.
+        let m = Metrics::new();
+        for (_, cell) in m.counter_cells() {
+            cell.store(7, Ordering::Relaxed);
+        }
+        m.reset();
+        for (name, cell) in m.counter_cells() {
+            assert_eq!(cell.load(Ordering::Relaxed), 0, "counter `{name}` survived reset");
+        }
+        // Pool counters are in the cells (and thus reset) even though the
+        // snapshot excludes them.
+        let names: Vec<_> = m.counter_cells().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"pool_hits") && names.contains(&"pool_misses"));
     }
 
     #[test]
