@@ -66,6 +66,8 @@ fn export(workload: &str, engine: &str, cluster: &Cluster) {
     report.push_str(&format!(
         "\nbuffer pool: hits={hits} misses={misses} hit_rate={hit_rate:.1}%\n"
     ));
+    report.push('\n');
+    report.push_str(&cluster.mem().report_section());
     let txt_path = write_bench_file(&format!("report-{workload}-{engine}.txt"), &report)
         .expect("write text report");
 

@@ -1,5 +1,6 @@
 //! The input/output key/value cache (paper §3.2.1), built on the
-//! distributed [`kvstore`] of §5.2.
+//! distributed [`kvstore`] of §5.2 — now governed by the `m3r-mem`
+//! memory-accounting subsystem.
 //!
 //! "Before passing it to the mapper, M3R caches the key/value pairs in
 //! memory (associated with the input file name). In a subsequent job, when
@@ -12,13 +13,37 @@
 //! consumer expecting `(K, V)` — a type mismatch silently degrades to a
 //! cache bypass, mirroring how M3R bypasses the cache for splits it cannot
 //! name or understand.
+//!
+//! ## Memory governance
+//!
+//! Every entry's bytes are reported to a [`MemAccountant`]
+//! ([`simgrid::MemClass::Cache`]), making the accountant the single source
+//! of truth for cache footprint ([`KvCache::total_bytes`] reads it). A
+//! cache built with [`KvCache::governed`] additionally enforces the
+//! accountant's per-place budget: when a put (or reload) pushes a place
+//! over budget, an [`EvictionPolicy`] picks victims deterministically
+//! (ties break on insertion order — never wall clock or thread schedule)
+//! and each victim is *spilled*: its pairs are serialized through the
+//! entry's captured codec and written to the spill filesystem through the
+//! normal cost model, while the kv-store keeps a marker block with the
+//! original metadata so the entry stays visible to the caching
+//! filesystem. The next `get_seq` faults the entry back in (paying the
+//! disk read + deserialize), re-admitting it as the newest entry. Under
+//! [`OomMode::FailFast`] the cache errors instead of spilling — the
+//! paper's "must fit in memory" contract, verbatim.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use kvstore::{KPath, KvError, KvStore};
-use simgrid::trace;
+use kvstore::policy::{EvictionPolicy, PolicyKind};
+use kvstore::{BlockData, KPath, KvError, KvStore};
+use parking_lot::Mutex;
+use simgrid::mem::{MemAccountant, MemClass, OomMode};
+use simgrid::{meter, trace, Charge};
 
-use hmr_api::fs::HPath;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::fs::{read_file, write_file, FileSystem, HPath};
+use hmr_api::writable::{write_vu64, ByteReader, Writable};
 
 /// A cached key/value sequence: `Arc`-shared pairs, exactly what flows
 /// through the engine. Aliasing the `Arc`s is what makes cache hits free.
@@ -55,11 +80,105 @@ pub struct CacheHit<K, V> {
     pub meta: CacheMeta,
 }
 
+/// Replaces an evicted entry's data in the kv-store. The block's metadata
+/// (and thus the file's visible length) is untouched, so the caching
+/// filesystem still stats and lists the entry; only a typed read faults
+/// it back in.
+#[derive(Debug)]
+struct SpilledMarker;
+
+/// Typed spill codec captured at `put_seq` time, when the concrete `K`/`V`
+/// are statically known. `encode` downcasts the stored block and writes
+/// `count, (k, v)*` in `Writable` wire form; `decode` reverses it. `Arc`
+/// aliasing across entries is lost on reload — each reloaded pair gets
+/// fresh `Arc`s — which costs memory, not correctness.
+#[derive(Clone)]
+struct Codec {
+    encode: Arc<dyn Fn(&BlockData) -> Option<Vec<u8>> + Send + Sync>,
+    decode: Arc<dyn Fn(&[u8]) -> Result<BlockData> + Send + Sync>,
+}
+
+impl Codec {
+    fn of<K: Writable, V: Writable>() -> Codec {
+        Codec {
+            encode: Arc::new(|data: &BlockData| {
+                let seq = Arc::clone(data).downcast::<CachedSeq<K, V>>().ok()?;
+                let mut buf = Vec::new();
+                write_vu64(&mut buf, seq.pairs.len() as u64);
+                for (k, v) in &seq.pairs {
+                    k.write_to(&mut buf);
+                    v.write_to(&mut buf);
+                }
+                Some(buf)
+            }),
+            decode: Arc::new(|bytes: &[u8]| {
+                let mut r = ByteReader::new(bytes);
+                let n = r.read_vu64()?;
+                let mut pairs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let k = K::read_from(&mut r)?;
+                    let v = V::read_from(&mut r)?;
+                    pairs.push((Arc::new(k), Arc::new(v)));
+                }
+                Ok(Arc::new(CachedSeq::<K, V>::new(pairs)) as BlockData)
+            }),
+        }
+    }
+}
+
+/// Governor bookkeeping for one cache entry.
+struct Entry {
+    /// Insertion ordinal; fresh per (re-)admission. Policies key on it.
+    id: u64,
+    place: usize,
+    /// Accounted bytes (the entry's `len`).
+    bytes: u64,
+    meta: CacheMeta,
+    /// False while the pairs live only in the spill file.
+    resident: bool,
+    spill_path: Option<HPath>,
+    codec: Codec,
+}
+
+/// Mutable governor state, held under one lock across each cache
+/// operation so policy bookkeeping, accounting and store mutation can
+/// never interleave. The kv-store's own locks never call back up into
+/// the governor, so lock order is strictly governor → store.
+struct GovState {
+    /// One policy instance per place: budgets are per-place, so victim
+    /// selection at one place must not disturb recency state at another.
+    policies: Vec<Box<dyn EvictionPolicy>>,
+    entries: HashMap<HPath, Entry>,
+    by_id: HashMap<u64, HPath>,
+    next_id: u64,
+}
+
+impl GovState {
+    fn admit(&mut self, path: HPath, entry_place: usize, bytes: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_id.insert(id, path);
+        self.policies[entry_place].on_insert(id, bytes);
+        id
+    }
+}
+
+/// Where evicted entries spill to.
+struct SpillTarget {
+    /// The *raw* filesystem (never a `CachingFs`, whose `create` would
+    /// re-enter the cache to invalidate the path being spilled).
+    fs: Arc<dyn FileSystem>,
+    root: HPath,
+}
+
 /// The typed facade over the kvstore used by the engine and the caching
 /// filesystem.
 #[derive(Clone)]
 pub struct KvCache {
     store: KvStore<CacheMeta>,
+    mem: MemAccountant,
+    state: Arc<Mutex<GovState>>,
+    spill: Option<Arc<SpillTarget>>,
 }
 
 fn kpath(path: &HPath) -> KPath {
@@ -67,10 +186,47 @@ fn kpath(path: &HPath) -> KPath {
 }
 
 impl KvCache {
-    /// A cache sharded over `places`.
+    /// A cache sharded over `places`, accounted but ungoverned: bytes are
+    /// tallied (so [`KvCache::total_bytes`] works) against a private
+    /// accountant with an infinite budget, and nothing ever evicts.
     pub fn new(places: usize) -> Self {
+        Self::build(places, MemAccountant::new(places), None, PolicyKind::default())
+    }
+
+    /// A cache governed by `mem`'s per-place budget: entries that push a
+    /// place over budget are evicted by `policy` and spilled to
+    /// `spill_fs` under `/.m3r-spill`, or the cache errors when `mem` is
+    /// in [`OomMode::FailFast`]. `spill_fs` must be the raw filesystem,
+    /// not the caching wrapper (see [`SpillTarget::fs`]).
+    pub fn governed(
+        places: usize,
+        mem: MemAccountant,
+        spill_fs: Arc<dyn FileSystem>,
+        policy: PolicyKind,
+    ) -> Self {
+        let spill = Some(Arc::new(SpillTarget {
+            fs: spill_fs,
+            root: HPath::new("/.m3r-spill"),
+        }));
+        Self::build(places, mem, spill, policy)
+    }
+
+    fn build(
+        places: usize,
+        mem: MemAccountant,
+        spill: Option<Arc<SpillTarget>>,
+        policy: PolicyKind,
+    ) -> Self {
         KvCache {
             store: KvStore::new(places),
+            mem,
+            state: Arc::new(Mutex::new(GovState {
+                policies: (0..places).map(|_| policy.build()).collect(),
+                entries: HashMap::new(),
+                by_id: HashMap::new(),
+                next_id: 0,
+            })),
+            spill,
         }
     }
 
@@ -79,23 +235,48 @@ impl KvCache {
         self.store.num_places()
     }
 
+    /// The memory accountant this cache reports to.
+    pub fn mem(&self) -> &MemAccountant {
+        &self.mem
+    }
+
     /// Cache `seq` for `path` at `place`. Replaces any previous entry for
     /// the path (the path's block list is reduced to this one entry).
-    pub fn put_seq<K: Send + Sync + 'static, V: Send + Sync + 'static>(
+    /// Errors only under a finite budget in [`OomMode::FailFast`] when
+    /// the put overflows `place`'s budget.
+    pub fn put_seq<K: Writable, V: Writable>(
         &self,
         place: usize,
         path: &HPath,
         seq: Arc<CachedSeq<K, V>>,
         len: u64,
-    ) {
+    ) -> Result<()> {
         let records = seq.pairs.len() as u64;
         let kp = kpath(path);
+        let mut st = self.state.lock();
+        self.forget_locked(&mut st, path);
         // Drop any stale entry first so the file holds exactly one block.
         let _ = self.store.delete(&kp);
         self.store
             .write_block(place, &kp, CacheMeta { len, records }, seq, len)
             .expect("cache path cannot collide after delete");
+        let codec = Codec::of::<K, V>();
+        let id = st.admit(path.clone(), place, len);
+        st.entries.insert(
+            path.clone(),
+            Entry {
+                id,
+                place,
+                bytes: len,
+                meta: CacheMeta { len, records },
+                resident: true,
+                spill_path: None,
+                codec,
+            },
+        );
+        self.mem.grow(place, MemClass::Cache, len);
         trace::mark(trace::Phase::Cache, "cache_put", None);
+        self.enforce_locked(&mut st)
     }
 
     /// Typed lookup. `expected_len` (from a split's byte range) guards
@@ -106,6 +287,7 @@ impl KvCache {
         expected_len: Option<u64>,
     ) -> Option<CacheHit<K, V>> {
         let hit = self.lookup_seq(path, expected_len);
+        self.mem.note_cache_access(hit.is_some());
         trace::mark(
             trace::Phase::Cache,
             if hit.is_some() { "cache_hit" } else { "cache_miss" },
@@ -119,23 +301,168 @@ impl KvCache {
         path: &HPath,
         expected_len: Option<u64>,
     ) -> Option<CacheHit<K, V>> {
-        let info = self.store.get_info(&kpath(path)).ok()?;
-        let block = info.blocks.first()?;
-        if let Some(len) = expected_len {
-            if block.info.len != len {
-                return None;
+        let mut st = self.state.lock();
+        let (id, place, meta, resident) = {
+            let e = st.entries.get(path)?;
+            if let Some(len) = expected_len {
+                if e.meta.len != len {
+                    return None;
+                }
+            }
+            (e.id, e.place, e.meta.clone(), e.resident)
+        };
+        if !resident {
+            return self.reload_locked::<K, V>(&mut st, path);
+        }
+        st.policies[place].on_access(id);
+        let data = self.store.create_reader(&kpath(path), &meta).ok()?;
+        let seq = data.downcast::<CachedSeq<K, V>>().ok()?;
+        Some(CacheHit { seq, place, meta })
+    }
+
+    /// Fault a spilled entry back in: read + decode the spill file through
+    /// the cost model, restore the kv-store block, and re-admit the entry
+    /// as the newest insertion at its place.
+    fn reload_locked<K: Send + Sync + 'static, V: Send + Sync + 'static>(
+        &self,
+        st: &mut GovState,
+        path: &HPath,
+    ) -> Option<CacheHit<K, V>> {
+        let spill = Arc::clone(self.spill.as_ref()?);
+        let (place, bytes, meta, codec, spath) = {
+            let e = st.entries.get(path)?;
+            (e.place, e.bytes, e.meta.clone(), e.codec.clone(), e.spill_path.clone()?)
+        };
+        let loaded = trace::span(trace::Phase::Cache, "cache_reload", None, || {
+            let raw = read_file(&*spill.fs, &spath).ok()?;
+            meter::charge(Charge::Deserialize { bytes: raw.len() as u64 });
+            (codec.decode)(&raw).ok()
+        })?;
+        self.store
+            .write_block(place, &kpath(path), meta.clone(), Arc::clone(&loaded), bytes)
+            .ok()?;
+        let _ = spill.fs.delete(&spath, false);
+        let id = st.admit(path.clone(), place, bytes);
+        {
+            let e = st.entries.get_mut(path).expect("entry present");
+            e.id = id;
+            e.resident = true;
+            e.spill_path = None;
+        }
+        self.mem.grow(place, MemClass::Cache, bytes);
+        self.mem.note_reload(place, bytes);
+        // The reload itself may overflow the budget. Only `Spill` mode can
+        // reach here (nothing ever spills under `FailFast`), so enforcement
+        // cannot error; under a thrashing budget the entry may spill right
+        // back out — the caller still gets its data.
+        let _ = self.enforce_locked(st);
+        let seq = loaded.downcast::<CachedSeq<K, V>>().ok()?;
+        Some(CacheHit { seq, place, meta })
+    }
+
+    /// Evict victims until every place fits its budget (no-op when
+    /// ungoverned or the budget is infinite — the accountant then never
+    /// influences behaviour, which is what the bit-equality tests pin).
+    fn enforce_locked(&self, st: &mut GovState) -> Result<()> {
+        let Some(spill) = &self.spill else {
+            return Ok(());
+        };
+        let Some(budget) = self.mem.budget() else {
+            return Ok(());
+        };
+        for place in 0..self.store.num_places() {
+            // The budget governs *cache* bytes. Shuffle payloads and pool
+            // free lists are tallied for the watermarks but excluded here:
+            // they grow from other places' threads (a stream publish lands
+            // at its destination), so folding them in would make eviction
+            // decisions depend on cross-place thread timing. Cache bytes
+            // at a place change only under this governor lock, from that
+            // place's own (deterministically ordered) operations.
+            while self.mem.live_class(place, MemClass::Cache) > budget {
+                if self.mem.oom_mode() == OomMode::FailFast {
+                    return Err(HmrError::OutOfMemory(format!(
+                        "place {place} holds {} live cached bytes against a budget of \
+                         {budget} (fail_fast: refusing to spill)",
+                        self.mem.live_class(place, MemClass::Cache)
+                    )));
+                }
+                let Some(victim) = st.policies[place].victim() else {
+                    break;
+                };
+                self.spill_locked(st, victim, spill.as_ref())?;
             }
         }
-        let data = self.store.create_reader(&kpath(path), &block.info).ok()?;
-        let seq = data.downcast::<CachedSeq<K, V>>().ok()?;
-        Some(CacheHit {
-            seq,
-            place: block.place,
-            meta: block.info.clone(),
-        })
+        Ok(())
+    }
+
+    /// Spill entry `id`: serialize through its codec, write the bytes to
+    /// the spill filesystem (charged as serialize + DFS write), and swap
+    /// the kv-store data for a marker so the metadata stays visible.
+    fn spill_locked(&self, st: &mut GovState, id: u64, spill: &SpillTarget) -> Result<()> {
+        let Some(path) = st.by_id.remove(&id) else {
+            return Ok(()); // policy outlived the entry; nothing to do
+        };
+        let (place, bytes, meta, codec) = {
+            let e = st.entries.get(&path).expect("by_id maps to a live entry");
+            debug_assert!(e.resident, "victims are always resident");
+            (e.place, e.bytes, e.meta.clone(), e.codec.clone())
+        };
+        let kp = kpath(&path);
+        let encoded = self
+            .store
+            .create_reader(&kp, &meta)
+            .ok()
+            .and_then(|data| (codec.encode)(&data));
+        let Some(encoded) = encoded else {
+            // Unreadable or not encodable: drop the entry outright rather
+            // than spill. `put_seq` captures the codec with the concrete
+            // types, so this arm is defensive, not expected.
+            st.entries.remove(&path);
+            let _ = self.store.delete(&kp);
+            self.mem.shrink(place, MemClass::Cache, bytes);
+            self.mem.note_eviction(place, 0);
+            return Ok(());
+        };
+        let spath = spill.root.join(&format!("e{id}"));
+        let _ = spill.fs.delete(&spath, false);
+        trace::span(trace::Phase::Cache, "cache_spill", None, || {
+            meter::charge(Charge::Serialize {
+                bytes: encoded.len() as u64,
+            });
+            write_file(&*spill.fs, &spath, &encoded)
+        })?;
+        self.store
+            .write_block(place, &kp, meta, Arc::new(SpilledMarker) as BlockData, 0)
+            .map_err(|e| HmrError::Io(format!("cache spill marker: {e:?}")))?;
+        {
+            let e = st.entries.get_mut(&path).expect("entry present");
+            e.resident = false;
+            e.spill_path = Some(spath);
+        }
+        self.mem.shrink(place, MemClass::Cache, bytes);
+        self.mem.note_eviction(place, encoded.len() as u64);
+        trace::mark(trace::Phase::Cache, "cache_evict", None);
+        Ok(())
+    }
+
+    /// Drop governor state (and any spill file) for `path` only — the
+    /// kv-store entry is the caller's to handle.
+    fn forget_locked(&self, st: &mut GovState, path: &HPath) {
+        if let Some(e) = st.entries.remove(path) {
+            st.by_id.remove(&e.id);
+            st.policies[e.place].on_remove(e.id);
+            if e.resident {
+                self.mem.shrink(e.place, MemClass::Cache, e.bytes);
+            }
+            if let (Some(spill), Some(sp)) = (&self.spill, &e.spill_path) {
+                let _ = spill.fs.delete(sp, false);
+            }
+        }
     }
 
     /// Untyped metadata lookup: is `path` cached, and where/how big?
+    /// Spilled entries answer exactly like resident ones — the kv-store
+    /// keeps their metadata.
     pub fn status(&self, path: &HPath) -> Option<CacheMeta> {
         let info = self.store.get_info(&kpath(path)).ok()?;
         match info.kind {
@@ -176,12 +503,39 @@ impl KvCache {
     /// file from the filesystem causes it to be transparently removed from
     /// the cache."
     pub fn delete(&self, path: &HPath) -> bool {
+        let mut st = self.state.lock();
+        let doomed: Vec<HPath> = st
+            .entries
+            .keys()
+            .filter(|p| p.starts_with(path))
+            .cloned()
+            .collect();
+        for p in doomed {
+            self.forget_locked(&mut st, &p);
+        }
         self.store.delete(&kpath(path)).unwrap_or(false)
     }
 
-    /// Rename within the cache (keeps data at its place).
-    pub fn rename(&self, src: &HPath, dst: &HPath) -> Result<(), KvError> {
-        self.store.rename(&kpath(src), &kpath(dst))
+    /// Rename within the cache (keeps data at its place). Governor entries
+    /// are re-keyed; policy state and spill files key on entry ids, so
+    /// recency and spilled bytes survive the rename untouched.
+    pub fn rename(&self, src: &HPath, dst: &HPath) -> std::result::Result<(), KvError> {
+        let mut st = self.state.lock();
+        self.store.rename(&kpath(src), &kpath(dst))?;
+        let moved: Vec<HPath> = st
+            .entries
+            .keys()
+            .filter(|p| p.starts_with(src))
+            .cloned()
+            .collect();
+        for p in moved {
+            let e = st.entries.remove(&p).expect("listed above");
+            let suffix = &p.as_str()[src.as_str().len()..];
+            let to = HPath::new(format!("{}{}", dst.as_str(), suffix));
+            st.by_id.insert(e.id, to.clone());
+            st.entries.insert(to, e);
+        }
+        Ok(())
     }
 
     /// Whether anything is cached under `path`.
@@ -189,17 +543,21 @@ impl KvCache {
         self.store.exists(&kpath(path))
     }
 
-    /// Total cached weight in bytes (memory-pressure observability; the
-    /// paper's §6.1 benchmark explicitly deletes consumed inputs "as \[their\]
-    /// presence in the cache wastes memory").
+    /// Total resident cache bytes, read from the memory accountant — the
+    /// single source of truth for cache footprint (the paper's §6.1
+    /// benchmark explicitly deletes consumed inputs "as \[their\] presence
+    /// in the cache wastes memory").
     pub fn total_bytes(&self) -> u64 {
-        self.store.total_weight()
+        (0..self.store.num_places())
+            .map(|p| self.mem.live_class(p, MemClass::Cache))
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmr_api::fs::MemFs;
     use hmr_api::writable::{IntWritable, Text};
 
     fn seq(n: i32) -> Arc<CachedSeq<IntWritable, Text>> {
@@ -220,7 +578,7 @@ mod tests {
         let cache = KvCache::new(4);
         let p = HPath::new("/out/part-00000");
         let s = seq(3);
-        cache.put_seq(2, &p, Arc::clone(&s), 100);
+        cache.put_seq(2, &p, Arc::clone(&s), 100).unwrap();
         let hit = cache.get_seq::<IntWritable, Text>(&p, Some(100)).unwrap();
         assert_eq!(hit.place, 2);
         assert_eq!(hit.meta.records, 3);
@@ -231,7 +589,7 @@ mod tests {
     fn length_mismatch_is_a_miss() {
         let cache = KvCache::new(2);
         let p = HPath::new("/f");
-        cache.put_seq(0, &p, seq(1), 10);
+        cache.put_seq(0, &p, seq(1), 10).unwrap();
         assert!(cache.get_seq::<IntWritable, Text>(&p, Some(11)).is_none());
         assert!(cache.get_seq::<IntWritable, Text>(&p, Some(10)).is_some());
         assert!(cache.get_seq::<IntWritable, Text>(&p, None).is_some());
@@ -241,7 +599,7 @@ mod tests {
     fn type_mismatch_is_a_miss_not_an_error() {
         let cache = KvCache::new(2);
         let p = HPath::new("/f");
-        cache.put_seq(0, &p, seq(1), 10);
+        cache.put_seq(0, &p, seq(1), 10).unwrap();
         // A consumer expecting (Text, Text) simply bypasses the cache.
         assert!(cache.get_seq::<Text, Text>(&p, Some(10)).is_none());
     }
@@ -250,8 +608,8 @@ mod tests {
     fn replacement_updates_entry() {
         let cache = KvCache::new(2);
         let p = HPath::new("/f");
-        cache.put_seq(0, &p, seq(1), 10);
-        cache.put_seq(1, &p, seq(5), 50);
+        cache.put_seq(0, &p, seq(1), 10).unwrap();
+        cache.put_seq(1, &p, seq(5), 50).unwrap();
         let hit = cache.get_seq::<IntWritable, Text>(&p, None).unwrap();
         assert_eq!(hit.meta.records, 5);
         assert_eq!(hit.place, 1);
@@ -261,8 +619,12 @@ mod tests {
     #[test]
     fn delete_and_rename_maintain_cache() {
         let cache = KvCache::new(2);
-        cache.put_seq(0, &HPath::new("/out/temp_1/part-00000"), seq(2), 20);
-        cache.put_seq(1, &HPath::new("/out/temp_1/part-00001"), seq(2), 20);
+        cache
+            .put_seq(0, &HPath::new("/out/temp_1/part-00000"), seq(2), 20)
+            .unwrap();
+        cache
+            .put_seq(1, &HPath::new("/out/temp_1/part-00001"), seq(2), 20)
+            .unwrap();
         cache
             .rename(&HPath::new("/out/temp_1"), &HPath::new("/out/final"))
             .unwrap();
@@ -275,11 +637,113 @@ mod tests {
     #[test]
     fn list_cached_directory() {
         let cache = KvCache::new(2);
-        cache.put_seq(0, &HPath::new("/d/a"), seq(1), 5);
-        cache.put_seq(0, &HPath::new("/d/b"), seq(1), 7);
+        cache.put_seq(0, &HPath::new("/d/a"), seq(1), 5).unwrap();
+        cache.put_seq(0, &HPath::new("/d/b"), seq(1), 7).unwrap();
         let mut ls = cache.list(&HPath::new("/d"));
         ls.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(ls.len(), 2);
         assert_eq!(ls[1].1.len, 7);
+    }
+
+    // -- governance ---------------------------------------------------------
+
+    fn governed(places: usize, budget: u64, policy: PolicyKind) -> (KvCache, Arc<MemFs>) {
+        let fs = MemFs::shared();
+        let mem = MemAccountant::new(places);
+        mem.set_budget(Some(budget));
+        let cache = KvCache::governed(places, mem, fs.clone() as Arc<dyn FileSystem>, policy);
+        (cache, fs)
+    }
+
+    #[test]
+    fn eviction_spills_and_reload_restores_pairs() {
+        // Budget of 25 at place 0: the second 20-byte entry evicts the
+        // first (LRU), which must still stat, still list, and reload on
+        // its next typed read.
+        let (cache, fs) = governed(1, 25, PolicyKind::Lru);
+        let a = HPath::new("/d/a");
+        let b = HPath::new("/d/b");
+        cache.put_seq(0, &a, seq(3), 20).unwrap();
+        cache.put_seq(0, &b, seq(2), 20).unwrap();
+        assert_eq!(cache.mem().evictions(0), 1);
+        assert!(cache.mem().spill_bytes(0) > 0);
+        assert_eq!(cache.total_bytes(), 20, "only /d/b is resident");
+        assert_eq!(
+            cache.status(&a),
+            Some(CacheMeta { len: 20, records: 3 }),
+            "spilled entry keeps its metadata"
+        );
+        assert!(
+            fs.exists(&HPath::new("/.m3r-spill/e0")),
+            "spill file written for the first admission"
+        );
+        let hit = cache.get_seq::<IntWritable, Text>(&a, Some(20)).unwrap();
+        assert_eq!(hit.seq.pairs.len(), 3);
+        assert_eq!(*hit.seq.pairs[2].0, IntWritable(2));
+        assert_eq!(hit.seq.pairs[2].1.as_ref(), &Text::from("v2"));
+        assert!(cache.mem().reload_bytes(0) > 0);
+        // The reload pushed /d/b out in turn (budget fits only one).
+        assert_eq!(cache.total_bytes(), 20);
+        assert!(!fs.exists(&HPath::new("/.m3r-spill/e0")), "spill file reclaimed");
+    }
+
+    #[test]
+    fn fail_fast_errors_instead_of_spilling() {
+        let (cache, fs) = governed(1, 25, PolicyKind::Lru);
+        cache.mem().set_oom_mode(OomMode::FailFast);
+        cache.put_seq(0, &HPath::new("/a"), seq(1), 20).unwrap();
+        let err = cache
+            .put_seq(0, &HPath::new("/b"), seq(1), 20)
+            .unwrap_err();
+        assert!(matches!(err, HmrError::OutOfMemory(_)), "{err}");
+        assert_eq!(cache.mem().evictions(0), 0, "fail_fast never evicts");
+        assert!(!fs.exists(&HPath::new("/.m3r-spill")), "nothing spilled");
+    }
+
+    #[test]
+    fn budgets_are_per_place() {
+        let (cache, _fs) = governed(2, 25, PolicyKind::Lru);
+        cache.put_seq(0, &HPath::new("/a"), seq(1), 20).unwrap();
+        cache.put_seq(1, &HPath::new("/b"), seq(1), 20).unwrap();
+        assert_eq!(cache.mem().evictions(0) + cache.mem().evictions(1), 0);
+        assert_eq!(cache.total_bytes(), 40, "each place fits its own budget");
+    }
+
+    #[test]
+    fn delete_and_rename_cover_spilled_entries() {
+        let (cache, fs) = governed(1, 25, PolicyKind::Lru);
+        let a = HPath::new("/d/a");
+        cache.put_seq(0, &a, seq(3), 20).unwrap();
+        cache.put_seq(0, &HPath::new("/d/b"), seq(2), 20).unwrap(); // spills /d/a
+        cache.rename(&HPath::new("/d"), &HPath::new("/e")).unwrap();
+        let hit = cache
+            .get_seq::<IntWritable, Text>(&HPath::new("/e/a"), Some(20))
+            .unwrap();
+        assert_eq!(hit.seq.pairs.len(), 3, "spilled entry reloads under its new name");
+        // Spill again, then delete the subtree: the spill file must go too.
+        cache.put_seq(0, &HPath::new("/e/c"), seq(2), 20).unwrap();
+        assert!(cache.delete(&HPath::new("/e")));
+        assert_eq!(cache.total_bytes(), 0);
+        let spills = fs
+            .list_status(&HPath::new("/.m3r-spill"))
+            .map(|l| l.len())
+            .unwrap_or(0);
+        assert_eq!(spills, 0, "no orphaned spill files after delete");
+    }
+
+    #[test]
+    fn infinite_budget_never_touches_the_spill_fs() {
+        let fs = MemFs::shared();
+        let mem = MemAccountant::new(1);
+        let cache =
+            KvCache::governed(1, mem, fs.clone() as Arc<dyn FileSystem>, PolicyKind::Lru);
+        for i in 0..32 {
+            cache
+                .put_seq(0, &HPath::new(format!("/f{i}")), seq(4), 1 << 20)
+                .unwrap();
+        }
+        assert_eq!(cache.mem().evictions(0), 0);
+        assert!(!fs.exists(&HPath::new("/.m3r-spill")));
+        assert_eq!(cache.total_bytes(), 32 << 20);
     }
 }

@@ -283,7 +283,8 @@ mod tests {
         let fs = setup();
         // A temp output exists only in the cache...
         fs.cache()
-            .put_seq(1, &HPath::new("/out/temp_v/part-00000"), seq(4), 64);
+            .put_seq(1, &HPath::new("/out/temp_v/part-00000"), seq(4), 64)
+            .unwrap();
         // ...but the next job's input format can stat and list it.
         let st = fs.get_file_status(&HPath::new("/out/temp_v/part-00000")).unwrap();
         assert_eq!(st.len, 64);
@@ -301,7 +302,7 @@ mod tests {
     fn listings_merge_disk_and_cache() {
         let fs = setup();
         write_file(&fs, &HPath::new("/d/on_disk"), b"bytes").unwrap();
-        fs.cache().put_seq(0, &HPath::new("/d/in_cache"), seq(1), 9);
+        fs.cache().put_seq(0, &HPath::new("/d/in_cache"), seq(1), 9).unwrap();
         let names: Vec<String> = fs
             .list_status(&HPath::new("/d"))
             .unwrap()
@@ -315,7 +316,7 @@ mod tests {
     fn delete_hits_both_cache_and_disk() {
         let fs = setup();
         write_file(&fs, &HPath::new("/f"), b"bytes").unwrap();
-        fs.cache().put_seq(0, &HPath::new("/f"), seq(1), 5);
+        fs.cache().put_seq(0, &HPath::new("/f"), seq(1), 5).unwrap();
         assert!(fs.delete(&HPath::new("/f"), false).unwrap());
         assert!(!fs.cache().contains(&HPath::new("/f")), "cache kept coherent");
         assert!(!fs.underlying().exists(&HPath::new("/f")));
@@ -325,7 +326,7 @@ mod tests {
     fn raw_cache_delete_leaves_disk_alone() {
         let fs = setup();
         write_file(&fs, &HPath::new("/f"), b"bytes").unwrap();
-        fs.cache().put_seq(0, &HPath::new("/f"), seq(1), 5);
+        fs.cache().put_seq(0, &HPath::new("/f"), seq(1), 5).unwrap();
         let raw = fs.raw_cache();
         assert!(raw.delete(&HPath::new("/f"), false).unwrap());
         assert!(!fs.cache().contains(&HPath::new("/f")));
@@ -339,7 +340,7 @@ mod tests {
     #[test]
     fn rename_of_temp_output_moves_cache_only() {
         let fs = setup();
-        fs.cache().put_seq(2, &HPath::new("/out/temp_x"), seq(1), 5);
+        fs.cache().put_seq(2, &HPath::new("/out/temp_x"), seq(1), 5).unwrap();
         fs.rename(&HPath::new("/out/temp_x"), &HPath::new("/out/final"))
             .unwrap();
         assert!(fs.cache().contains(&HPath::new("/out/final")));
@@ -349,7 +350,7 @@ mod tests {
     #[test]
     fn cache_record_reader_replays_pairs() {
         let fs = setup();
-        fs.cache().put_seq(0, &HPath::new("/f"), seq(3), 5);
+        fs.cache().put_seq(0, &HPath::new("/f"), seq(3), 5).unwrap();
         let mut r = fs
             .cache_record_reader::<IntWritable, Text>(&HPath::new("/f"))
             .unwrap();
@@ -368,7 +369,7 @@ mod tests {
     #[test]
     fn byte_create_invalidates_cache_entry() {
         let fs = setup();
-        fs.cache().put_seq(0, &HPath::new("/f"), seq(1), 5);
+        fs.cache().put_seq(0, &HPath::new("/f"), seq(1), 5).unwrap();
         write_file(&fs, &HPath::new("/f"), b"new bytes").unwrap();
         assert!(!fs.cache().contains(&HPath::new("/f")), "stale entry dropped");
     }

@@ -35,9 +35,10 @@ use hmr_api::fs::{FileSystem, HPath};
 use hmr_api::io::{part_file_name, InputSplit, OutputFormat};
 use hmr_api::job::{Engine, JobDef, JobResult};
 use hmr_api::writable::{write_vu64, Writable};
+use kvstore::policy::PolicyKind;
 use simgrid::cost::Charge;
 use simgrid::trace::{self, Phase};
-use simgrid::{BufPool, Cluster, Meter};
+use simgrid::{BufPool, Cluster, Meter, OomMode};
 use x10rt::serialize::DedupMode;
 use x10rt::World;
 
@@ -69,13 +70,37 @@ pub struct M3ROptions {
     /// place thread. Affects wall-clock only: simulated seconds, outputs
     /// and counters are bit-identical either way (tasks bill per-task
     /// scratch clocks and all order-sensitive work — shuffle-stream
-    /// serialization — happens after the wave joins, in task order).
+    /// serialization — happens after the wave joins, in task order). Under
+    /// a *finite* memory budget waves always run sequentially: eviction
+    /// order must follow task order, never the thread schedule.
     pub real_parallelism: bool,
     /// Draw shuffle-stream buffers from a per-place [`BufPool`] that
     /// persists across waves and jobs (the long-lived-place buffer reuse of
     /// §3.2.2/§5). Wall-clock only: stream bytes, charges and outputs are
     /// bit-identical with the pool off.
     pub buffer_pool: bool,
+    /// Memory governance (`m3r-mem`): `Some` (the default) builds the
+    /// kv-cache governed by the cluster accountant's per-place budget —
+    /// with the default infinite budget this is behaviourally identical
+    /// to `None` (asserted bit-for-bit by `tests/memory.rs`), while a
+    /// finite budget makes the cache evict-and-spill (or fail fast) as
+    /// configured. `None` is the ungoverned pre-subsystem baseline.
+    pub memory: Option<MemoryOptions>,
+}
+
+/// How the governed cache behaves under a per-place memory budget. The
+/// budget itself lives on the cluster's [`simgrid::MemAccountant`] so the
+/// trace/report layers can read it; these options seed it at engine
+/// construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryOptions {
+    /// Per-place byte budget; `None` (default) is unlimited.
+    pub budget_bytes_per_place: Option<u64>,
+    /// Victim selection under pressure.
+    pub policy: PolicyKind,
+    /// Spill gracefully (default) or reproduce the paper's strict
+    /// must-fit-in-memory contract.
+    pub oom: OomMode,
 }
 
 impl Default for M3ROptions {
@@ -87,6 +112,7 @@ impl Default for M3ROptions {
             input_cache: true,
             real_parallelism: true,
             buffer_pool: true,
+            memory: Some(MemoryOptions::default()),
         }
     }
 }
@@ -117,9 +143,28 @@ impl M3REngine {
     pub fn with_options(cluster: Cluster, fs: Arc<dyn FileSystem>, opts: M3ROptions) -> Self {
         assert!(opts.worker_threads >= 1);
         let places = cluster.len();
-        let cache = KvCache::new(places);
+        let cache = match &opts.memory {
+            Some(m) => {
+                let mem = cluster.mem().clone();
+                mem.set_budget(m.budget_bytes_per_place);
+                mem.set_oom_mode(m.oom);
+                // Spills go to the *raw* filesystem: a `CachingFs::create`
+                // would re-enter the cache to invalidate the path mid-spill.
+                KvCache::governed(places, mem, Arc::clone(&fs), m.policy)
+            }
+            None => KvCache::new(places),
+        };
         let pools = (0..places)
-            .map(|_| Arc::new(BufPool::with_metrics(cluster.metrics().clone())))
+            .map(|place| {
+                Arc::new(match &opts.memory {
+                    Some(_) => BufPool::with_accounting(
+                        cluster.metrics().clone(),
+                        cluster.mem().clone(),
+                        place,
+                    ),
+                    None => BufPool::with_metrics(cluster.metrics().clone()),
+                })
+            })
             .collect();
         M3REngine {
             world: Arc::new(World::new(places)),
@@ -206,7 +251,7 @@ impl M3REngine {
                 pairs.push((Arc::new(k), Arc::new(v)));
             }
             self.cache()
-                .put_seq(place, &path, Arc::new(CachedSeq::new(pairs)), split.length());
+                .put_seq(place, &path, Arc::new(CachedSeq::new(pairs)), split.length())?;
         }
         Ok(())
     }
@@ -547,10 +592,16 @@ fn map_phase_at_place<J: JobDef>(
         // Scratch clocks start at zero; spans recorded during the wave are
         // wave-relative and rebase onto the place clock as of wave start.
         let wave_base = node.clock().now();
+        // Under a finite memory budget the cache traffic inside each task
+        // (input-cache puts, reloads of spilled entries) is order-sensitive:
+        // eviction victims depend on admission order. Waves run sequentially
+        // then, so the eviction sequence follows task order instead of the
+        // thread schedule; with the default infinite budget the pool stays a
+        // pure wall-clock optimization.
         let (results, scratches) = simgrid::pool::run_wave(
             cluster,
             place,
-            opts.real_parallelism,
+            opts.real_parallelism && cluster.mem().budget().is_none(),
             wave.to_vec(),
             |si: usize| {
                 let r = trace::span(Phase::Map, "map", Some(si as u64), || {
@@ -638,6 +689,11 @@ fn map_phase_at_place<J: JobDef>(
             let mut counts: Vec<(usize, u64)> =
                 std::mem::take(&mut stream_counts[dest]).into_iter().collect();
             counts.sort_unstable();
+            // The payload is parked at the destination until its reduce
+            // wave ingests it; those bytes are live memory at `dest`.
+            cluster
+                .mem()
+                .grow(dest, simgrid::MemClass::Shuffle, bytes.len() as u64);
             *shared.streams[dest][place].lock() = Some(StreamPayload { bytes, counts });
         }
     }
@@ -717,7 +773,7 @@ fn run_map_task<J: JobDef>(
                     // "Before passing it to the mapper, M3R caches the
                     // key/value pairs in memory."
                     fs.cache()
-                        .put_seq(place, path, Arc::clone(&seq), split.length());
+                        .put_seq(place, path, Arc::clone(&seq), split.length())?;
                 }
             }
             seq
@@ -847,6 +903,13 @@ fn reduce_phase_at_place<J: JobDef>(
         .iter()
         .filter_map(|slot| slot.lock().take())
         .collect();
+    for payload in &incoming {
+        // Ingest un-parks the payload: its bytes stop being live shuffle
+        // memory here (pool reclamation re-counts them as pool bytes).
+        cluster
+            .mem()
+            .shrink(place, simgrid::MemClass::Shuffle, payload.bytes.len() as u64);
+    }
     let my_parts: Vec<usize> = (0..num_reducers)
         .filter(|p| place_map.place_of(*p, nplaces) == place)
         .collect();
@@ -896,10 +959,12 @@ fn reduce_phase_at_place<J: JobDef>(
             })
             .collect();
         let wave_base = node.clock().now();
+        // Sequential under a finite budget, for the same determinism reason
+        // as the map waves: reducer output-cache puts may evict.
         let (results, scratches) = simgrid::pool::run_wave(
             cluster,
             place,
-            opts.real_parallelism,
+            opts.real_parallelism && cluster.mem().budget().is_none(),
             inputs,
             |(p, pairs): (usize, Vec<(Arc<J::K2>, Arc<J::V2>)>)| {
                 let r = trace::span(Phase::Reduce, "reduce", Some(p as u64), || {
@@ -1105,6 +1170,6 @@ where
             .unwrap_or_else(|_| seq_file_len(&pairs))
     };
     fs.cache()
-        .put_seq(place, &part_path, Arc::new(CachedSeq::new(pairs)), len);
+        .put_seq(place, &part_path, Arc::new(CachedSeq::new(pairs)), len)?;
     Ok(())
 }

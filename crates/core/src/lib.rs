@@ -56,7 +56,9 @@ pub mod stability;
 
 pub use cache::{CacheHit, CacheMeta, CachedSeq, KvCache};
 pub use cachefs::{CachingFs, RawCacheFs};
-pub use engine::{M3REngine, M3ROptions, M3R_COUNTER_GROUP};
+pub use engine::{M3REngine, M3ROptions, MemoryOptions, M3R_COUNTER_GROUP};
+pub use kvstore::policy::PolicyKind;
+pub use simgrid::mem::{MemAccountant, MemClass, OomMode};
 pub use interop::{JobClient, Ran};
 pub use repartition::{repartition, RepartitionJob};
 pub use server::{M3RClient, M3RServer};

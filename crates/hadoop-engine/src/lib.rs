@@ -103,7 +103,13 @@ impl HadoopEngine {
     pub fn with_options(cluster: Cluster, fs: Arc<dyn FileSystem>, opts: EngineOptions) -> Self {
         assert!(opts.map_slots_per_node >= 1 && opts.reduce_slots_per_node >= 1);
         let pools = (0..cluster.len())
-            .map(|_| Arc::new(BufPool::with_metrics(cluster.metrics().clone())))
+            .map(|node| {
+                Arc::new(BufPool::with_accounting(
+                    cluster.metrics().clone(),
+                    cluster.mem().clone(),
+                    node,
+                ))
+            })
             .collect();
         HadoopEngine {
             cluster,
@@ -308,6 +314,12 @@ impl Engine for HadoopEngine {
                     let (task, out) = result?;
                     counters.merge(&out.counters);
                     output_records += out.output_records;
+                    // Segments are parked on the producing node until the
+                    // reducers fetch them — live shuffle memory there.
+                    let seg_bytes: u64 = out.segments.iter().map(|s| s.len() as u64).sum();
+                    cluster
+                        .mem()
+                        .grow(node_id, simgrid::MemClass::Shuffle, seg_bytes);
                     map_outputs[task] = out.segments;
                 }
                 node.clock()
@@ -380,12 +392,19 @@ impl Engine for HadoopEngine {
             }
         }
 
-        // Recycle finished segment buffers into their producing node's
-        // pool — the next job's sort buffers start warm. (A handle that a
-        // straggling reader still holds simply isn't reclaimed.)
-        if self.opts.buffer_pool {
-            for (task, segments) in map_outputs.into_iter().enumerate() {
-                let pool = &self.pools[assigns[task]];
+        // Segments die with the job either way: release their shuffle
+        // accounting, and — with the pool on — recycle the buffers into
+        // their producing node's pool so the next job's sort buffers start
+        // warm. (A handle that a straggling reader still holds simply
+        // isn't reclaimed.)
+        for (task, segments) in map_outputs.into_iter().enumerate() {
+            let node_id = assigns[task];
+            let seg_bytes: u64 = segments.iter().map(|s| s.len() as u64).sum();
+            cluster
+                .mem()
+                .shrink(node_id, simgrid::MemClass::Shuffle, seg_bytes);
+            if self.opts.buffer_pool {
+                let pool = &self.pools[node_id];
                 for seg in segments {
                     pool.reclaim(seg);
                 }

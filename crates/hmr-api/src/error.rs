@@ -16,6 +16,9 @@ pub enum HmrError {
     /// The job configuration is inconsistent (e.g. zero reducers without a
     /// map-only conversion).
     InvalidJob(String),
+    /// A place exceeded its memory budget under the `fail_fast` OOM mode
+    /// (the paper's "the job family must fit in memory" contract).
+    OutOfMemory(String),
 }
 
 impl std::fmt::Display for HmrError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for HmrError {
             HmrError::Serde(s) => write!(f, "serialization error: {s}"),
             HmrError::Unsupported(s) => write!(f, "unsupported: {s}"),
             HmrError::InvalidJob(s) => write!(f, "invalid job: {s}"),
+            HmrError::OutOfMemory(s) => write!(f, "out of memory: {s}"),
         }
     }
 }

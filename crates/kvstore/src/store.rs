@@ -336,20 +336,6 @@ impl<M: Clone + Eq + Send + Sync + 'static> KvStore<M> {
         Ok(())
     }
 
-    /// Total accounting weight of all blocks (cache-pressure diagnostics).
-    pub fn total_weight(&self) -> u64 {
-        let mut sum = 0;
-        for shard in &self.inner.shards {
-            let meta = shard.meta.lock();
-            for entry in meta.values() {
-                if let MetaEntry::File(blocks) = entry {
-                    sum += blocks.iter().map(|b| b.weight).sum::<u64>();
-                }
-            }
-        }
-        sum
-    }
-
     /// Number of blocks stored at `place`'s data shard.
     pub fn blocks_at(&self, place: usize) -> usize {
         self.inner.shards[place].data.lock().len()
@@ -525,16 +511,6 @@ mod tests {
             seen.insert(s.meta_place(&KPath::new(format!("/p/{i}"))));
         }
         assert!(seen.len() >= 4, "metadata should spread: {seen:?}");
-    }
-
-    #[test]
-    fn total_weight_accounts_blocks() {
-        let s = Store::new(2);
-        s.write_block(0, &KPath::new("/a"), "i".into(), data("x"), 100).unwrap();
-        s.write_block(1, &KPath::new("/b"), "i".into(), data("y"), 50).unwrap();
-        assert_eq!(s.total_weight(), 150);
-        s.delete(&KPath::new("/a")).unwrap();
-        assert_eq!(s.total_weight(), 50);
     }
 
     #[test]

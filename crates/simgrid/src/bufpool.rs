@@ -18,6 +18,7 @@
 
 use parking_lot::Mutex;
 
+use crate::mem::{MemAccountant, MemClass};
 use crate::metrics::Metrics;
 
 use bytes::{Bytes, BytesMut};
@@ -33,6 +34,9 @@ use bytes::{Bytes, BytesMut};
 pub struct BufPool {
     free: Mutex<Vec<BytesMut>>,
     metrics: Option<Metrics>,
+    /// When set, free-list capacity is reported to the memory accountant
+    /// as [`MemClass::Pool`] bytes at this place.
+    accounting: Option<(MemAccountant, usize)>,
     /// Buffers retained at most; excess `put`s drop the smallest.
     max_buffers: usize,
 }
@@ -43,6 +47,7 @@ impl BufPool {
         BufPool {
             free: Mutex::new(Vec::new()),
             metrics: None,
+            accounting: None,
             max_buffers: 64,
         }
     }
@@ -52,7 +57,33 @@ impl BufPool {
         BufPool {
             free: Mutex::new(Vec::new()),
             metrics: Some(metrics),
+            accounting: None,
             max_buffers: 64,
+        }
+    }
+
+    /// A pool that counts hits/misses into `metrics` and reports its
+    /// free-list capacity to `mem` as [`MemClass::Pool`] bytes held at
+    /// `place`. Warm-but-dead pool bytes are exactly the memory a budget
+    /// has to weigh against live cache entries.
+    pub fn with_accounting(metrics: Metrics, mem: MemAccountant, place: usize) -> Self {
+        BufPool {
+            free: Mutex::new(Vec::new()),
+            metrics: Some(metrics),
+            accounting: Some((mem, place)),
+            max_buffers: 64,
+        }
+    }
+
+    fn account_grow(&self, capacity: usize) {
+        if let Some((mem, place)) = &self.accounting {
+            mem.grow(*place, MemClass::Pool, capacity as u64);
+        }
+    }
+
+    fn account_shrink(&self, capacity: usize) {
+        if let Some((mem, place)) = &self.accounting {
+            mem.shrink(*place, MemClass::Pool, capacity as u64);
         }
     }
 
@@ -75,6 +106,7 @@ impl BufPool {
         }
         match recycled {
             Some(mut buf) => {
+                self.account_shrink(buf.capacity());
                 buf.clear();
                 if buf.capacity() < min_capacity {
                     buf.reserve(min_capacity - buf.len());
@@ -96,6 +128,7 @@ impl BufPool {
         }
         match recycled {
             Some(mut buf) => {
+                self.account_shrink(buf.capacity());
                 buf.clear();
                 buf
             }
@@ -107,13 +140,21 @@ impl BufPool {
     /// so `get` can binary-search for the best fit.
     pub fn put(&self, mut buf: BytesMut) {
         buf.clear();
+        self.account_grow(buf.capacity());
         let mut free = self.free.lock();
         let pos = free
             .binary_search_by_key(&buf.capacity(), BytesMut::capacity)
             .unwrap_or_else(|p| p);
         free.insert(pos, buf);
-        if free.len() > self.max_buffers {
-            free.remove(0); // smallest capacity
+        let dropped = if free.len() > self.max_buffers {
+            let runt = free.remove(0); // smallest capacity
+            Some(runt.capacity())
+        } else {
+            None
+        };
+        drop(free);
+        if let Some(cap) = dropped {
+            self.account_shrink(cap);
         }
     }
 
@@ -137,7 +178,13 @@ impl BufPool {
 
     /// Drop every retained buffer.
     pub fn drain(&self) {
-        self.free.lock().clear();
+        let drained: usize = {
+            let mut free = self.free.lock();
+            let total = free.iter().map(BytesMut::capacity).sum();
+            free.clear();
+            total
+        };
+        self.account_shrink(drained);
     }
 }
 
@@ -182,6 +229,22 @@ mod tests {
         assert_eq!(m.pool_misses(), 2);
         // Pool traffic must not leak into snapshot equality.
         assert_eq!(m.snapshot(), Metrics::new().snapshot());
+    }
+
+    #[test]
+    fn accounting_tracks_free_list_capacity() {
+        use crate::mem::{MemAccountant, MemClass};
+        let m = Metrics::new();
+        let mem = MemAccountant::new(1);
+        let pool = BufPool::with_accounting(m, mem.clone(), 0);
+        pool.put(BytesMut::with_capacity(1024));
+        pool.put(BytesMut::with_capacity(256));
+        assert_eq!(mem.live_class(0, MemClass::Pool), 1280);
+        let got = pool.get(512); // takes the 1024 buffer
+        assert_eq!(mem.live_class(0, MemClass::Pool), 256);
+        pool.put(got);
+        pool.drain();
+        assert_eq!(mem.live_class(0, MemClass::Pool), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::clock::{barrier, Clock};
 use crate::cost::{Charge, CostModel};
+use crate::mem::MemAccountant;
 use crate::metrics::Metrics;
 use crate::trace::{ChargeTotals, Phase, Span, Trace};
 
@@ -88,6 +89,7 @@ pub struct Cluster {
     model: Arc<CostModel>,
     metrics: Metrics,
     trace: Trace,
+    mem: MemAccountant,
 }
 
 impl Cluster {
@@ -97,6 +99,7 @@ impl Cluster {
         let model = Arc::new(model);
         let metrics = Metrics::new();
         let trace = Trace::new();
+        let mem = MemAccountant::with_metrics(n, metrics.clone());
         let nodes = (0..n)
             .map(|id| Node {
                 id,
@@ -112,6 +115,7 @@ impl Cluster {
             model,
             metrics,
             trace,
+            mem,
         }
     }
 
@@ -155,6 +159,11 @@ impl Cluster {
         &self.trace
     }
 
+    /// The per-place memory accountant (infinite budget by default).
+    pub fn mem(&self) -> &MemAccountant {
+        &self.mem
+    }
+
     /// Latest clock across the cluster — "the job is done when the slowest
     /// node is done".
     pub fn max_time(&self) -> f64 {
@@ -192,13 +201,16 @@ impl Cluster {
     }
 
     /// Reset all clocks to zero, clear metrics and drop any recorded trace
-    /// spans. Used between experiments.
+    /// spans. Used between experiments. Memory *stats* reset too, but live
+    /// byte tallies survive: the cache whose bytes they count survives
+    /// the reset as well.
     pub fn reset(&self) {
         for n in self.nodes.iter() {
             n.clock.reset();
         }
         self.metrics.reset();
         self.trace.clear();
+        self.mem.reset_stats();
     }
 
     /// A detached node sharing this cluster's cost model and metrics but

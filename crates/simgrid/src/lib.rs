@@ -30,6 +30,7 @@ pub mod bufpool;
 pub mod clock;
 pub mod cluster;
 pub mod cost;
+pub mod mem;
 pub mod meter;
 pub mod metrics;
 pub mod pool;
@@ -39,6 +40,7 @@ pub use bufpool::BufPool;
 pub use clock::Clock;
 pub use cluster::{Cluster, Node, NodeId};
 pub use cost::{Charge, CostModel};
+pub use mem::{MemAccountant, MemClass, OomMode};
 pub use meter::{current_meter, with_meter, Meter};
 pub use metrics::Metrics;
 pub use pool::{run_wave, wave_duration};

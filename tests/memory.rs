@@ -1,0 +1,374 @@
+//! Memory governance (`m3r-mem`) must be free when idle and graceful
+//! under pressure:
+//!
+//! * **Invisibility** — the governed cache with the default infinite
+//!   budget must be bit-identical to the ungoverned baseline
+//!   (`memory: None`): simulated seconds (compared through
+//!   `f64::to_bits`), counters, metrics, and raw output part bytes, on
+//!   both engines, serial and parallel. The accountant sits on the
+//!   `put_seq`/`get_seq`/shuffle-publish hot paths, so any behavioural
+//!   leak (an extra charge, an eviction at ∞) shows here.
+//! * **Determinism under pressure** — a finite budget may change *when*
+//!   things happen (spill/reload charges) but never *what* is computed:
+//!   output bytes equal the ∞ run, and the run is reproducible — the
+//!   eviction sequence follows insertion order, never the thread
+//!   schedule (waves serialize under a finite budget, so
+//!   `real_parallelism` stays bit-identical to serial).
+//! * **Graceful degradation** — shrinking the budget costs simulated
+//!   seconds (spill + reload through the DFS cost model) instead of
+//!   correctness; `OomMode::FailFast` restores the paper's strict
+//!   must-fit-in-memory contract by erroring instead of spilling.
+//! * **Budget invariant** — property test: live cached bytes per place
+//!   never exceed the budget, across random put/get/delete workloads,
+//!   every policy, and spilled entries always reload intact.
+
+use std::sync::Arc;
+
+use hadoop_engine::{EngineOptions, HadoopEngine};
+use hmr_api::fs::MemFs;
+use hmr_api::job::JobResult;
+use hmr_api::writable::{IntWritable, Text};
+use hmr_api::{FileSystem, HPath};
+use m3r::cache::CachedSeq;
+use m3r::{
+    KvCache, M3REngine, M3ROptions, MemAccountant, MemClass, MemoryOptions, OomMode, PolicyKind,
+};
+use proptest::prelude::*;
+use simdfs::SimDfs;
+use simgrid::{Cluster, CostModel};
+use workloads::microbench::{generate_microbench_input, run_microbench};
+
+const PLACES: usize = 4;
+const WORKERS: usize = 4;
+const PARTS: usize = 8;
+
+fn fresh() -> (Cluster, SimDfs) {
+    let cluster = Cluster::new(PLACES, CostModel::default());
+    let fs = SimDfs::with_config(cluster.clone(), 1 << 20, 2);
+    (cluster, fs)
+}
+
+/// Raw bytes of every part file under `dir`, in partition order.
+fn part_bytes(fs: &SimDfs, dir: &str) -> Vec<(String, bytes::Bytes)> {
+    (0..PARTS)
+        .filter_map(|p| {
+            let name = format!("{dir}/part-{p:05}");
+            let path = HPath::new(name.as_str());
+            fs.exists(&path)
+                .then(|| (name, hmr_api::fs::read_file(fs, &path).unwrap()))
+        })
+        .collect()
+}
+
+fn assert_same_result(a: &JobResult, b: &JobResult, what: &str) {
+    assert_eq!(
+        a.sim_time.to_bits(),
+        b.sim_time.to_bits(),
+        "{what}: simulated seconds must be bit-identical ({} vs {})",
+        a.sim_time,
+        b.sim_time,
+    );
+    assert_eq!(a.counters, b.counters, "{what}: counters differ");
+    assert_eq!(a.metrics, b.metrics, "{what}: metrics differ");
+    assert_eq!(
+        a.output_records, b.output_records,
+        "{what}: output record counts differ"
+    );
+}
+
+/// The fig6-style microbenchmark on M3R with explicit memory options.
+/// Returns per-iteration results, final output bytes, and the cluster
+/// (for accountant inspection).
+fn microbench_m3r(
+    memory: Option<MemoryOptions>,
+    parallel: bool,
+) -> (Vec<JobResult>, Vec<(String, bytes::Bytes)>, Cluster) {
+    let (cluster, fs) = fresh();
+    generate_microbench_input(&fs, &HPath::new("/in"), 192, 64, PARTS, 11).unwrap();
+    let mut engine = M3REngine::with_options(
+        cluster.clone(),
+        Arc::new(fs.clone()),
+        M3ROptions {
+            worker_threads: WORKERS,
+            real_parallelism: parallel,
+            memory,
+            ..M3ROptions::default()
+        },
+    );
+    let results = run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/mb"),
+        0.5,
+        3,
+        PARTS,
+        true,
+        None,
+    )
+    .unwrap();
+    (results, part_bytes(&fs, "/mb/iter2"), cluster)
+}
+
+fn microbench_hadoop(
+    budget: Option<u64>,
+    parallel: bool,
+) -> (Vec<JobResult>, Vec<(String, bytes::Bytes)>) {
+    let (cluster, fs) = fresh();
+    generate_microbench_input(&fs, &HPath::new("/in"), 192, 64, PARTS, 11).unwrap();
+    // Hadoop has no governed cache: the accountant only *observes* its
+    // shuffle segments and pool free lists, so even an absurd budget must
+    // not change a bit.
+    cluster.mem().set_budget(budget);
+    let mut engine = HadoopEngine::with_options(
+        cluster.clone(),
+        Arc::new(fs.clone()),
+        EngineOptions {
+            map_slots_per_node: WORKERS,
+            reduce_slots_per_node: WORKERS,
+            sort_buffer_bytes: 1 << 16,
+            max_task_attempts: 4,
+            real_parallelism: parallel,
+            ..EngineOptions::default()
+        },
+    );
+    let results = run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/mb"),
+        0.5,
+        2,
+        PARTS,
+        false,
+        None,
+    )
+    .unwrap();
+    (results, part_bytes(&fs, "/mb/iter1"))
+}
+
+// ---------------------------------------------------------------------------
+// Invisibility: governed at ∞ budget == ungoverned, bit for bit
+// ---------------------------------------------------------------------------
+
+#[test]
+fn infinite_budget_governance_is_invisible_on_m3r() {
+    for parallel in [false, true] {
+        let (base, base_out, _) = microbench_m3r(None, parallel);
+        let (gov, gov_out, cluster) = microbench_m3r(Some(MemoryOptions::default()), parallel);
+        assert_eq!(base.len(), gov.len());
+        for (i, (a, b)) in base.iter().zip(&gov).enumerate() {
+            assert_same_result(a, b, &format!("m3r iter{i} (parallel={parallel})"));
+        }
+        assert!(!base_out.is_empty(), "microbench produced no output");
+        assert_eq!(base_out, gov_out, "m3r output bytes differ (parallel={parallel})");
+        // The governed run did account (watermarks moved) without acting.
+        assert!(
+            (0..PLACES).any(|p| cluster.mem().high_watermark(p) > 0),
+            "accountant saw no live bytes"
+        );
+        assert_eq!(
+            (0..PLACES).map(|p| cluster.mem().evictions(p)).sum::<u64>(),
+            0,
+            "an infinite budget must never evict"
+        );
+    }
+}
+
+#[test]
+fn accounting_is_invisible_on_hadoop() {
+    for parallel in [false, true] {
+        let (base, base_out) = microbench_hadoop(None, parallel);
+        let (tiny, tiny_out) = microbench_hadoop(Some(1), parallel);
+        assert_eq!(base.len(), tiny.len());
+        for (i, (a, b)) in base.iter().zip(&tiny).enumerate() {
+            assert_same_result(a, b, &format!("hadoop iter{i} (parallel={parallel})"));
+        }
+        assert!(!base_out.is_empty(), "microbench produced no output");
+        assert_eq!(base_out, tiny_out, "hadoop output bytes differ (parallel={parallel})");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation under a finite budget
+// ---------------------------------------------------------------------------
+
+fn finite(budget: u64) -> Option<MemoryOptions> {
+    Some(MemoryOptions {
+        budget_bytes_per_place: Some(budget),
+        policy: PolicyKind::Lru,
+        oom: OomMode::Spill,
+    })
+}
+
+#[test]
+fn finite_budget_trades_time_for_memory_not_answers() {
+    let (inf, inf_out, _) = microbench_m3r(Some(MemoryOptions::default()), false);
+    // Below one place's share of an iteration's cached output (~2 part
+    // sequences of ~2 KiB), so entries spill *before* the next iteration
+    // reads them back — evictions AND reloads both fire.
+    let (tight, tight_out, cluster) = microbench_m3r(finite(2048), false);
+
+    assert_eq!(inf_out, tight_out, "spilling must not change a single output byte");
+    let evictions: u64 = (0..PLACES).map(|p| cluster.mem().evictions(p)).sum();
+    let spilled: u64 = (0..PLACES).map(|p| cluster.mem().spill_bytes(p)).sum();
+    let reloaded: u64 = (0..PLACES).map(|p| cluster.mem().reload_bytes(p)).sum();
+    assert!(evictions > 0, "a 4 KiB budget must force evictions");
+    assert!(spilled > 0, "evictions must spill bytes");
+    assert!(reloaded > 0, "the chained iterations must reload spilled inputs");
+    let inf_secs: f64 = inf.iter().map(|r| r.sim_time).sum();
+    let tight_secs: f64 = tight.iter().map(|r| r.sim_time).sum();
+    assert!(
+        tight_secs >= inf_secs,
+        "spill/reload must cost simulated time ({tight_secs} < {inf_secs})"
+    );
+    // Live cache bytes respect the budget once the dust settles.
+    for p in 0..PLACES {
+        assert!(
+            cluster.mem().live_class(p, MemClass::Cache) <= 2048,
+            "place {p} ended over budget"
+        );
+    }
+}
+
+#[test]
+fn finite_budget_runs_are_schedule_independent() {
+    // The whole point of insertion-order tie-breaking: with a finite
+    // budget the "parallel" run serializes its waves, so thread schedule
+    // can never pick a different victim. Serial and parallel must agree
+    // bit for bit, run after run.
+    let (serial, serial_out, _) = microbench_m3r(finite(2048), false);
+    let (par, par_out, _) = microbench_m3r(finite(2048), true);
+    assert_eq!(serial.len(), par.len());
+    for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+        assert_same_result(a, b, &format!("finite-budget iter{i}"));
+    }
+    assert_eq!(serial_out, par_out, "finite-budget output bytes differ");
+}
+
+#[test]
+fn fail_fast_surfaces_oom_instead_of_spilling() {
+    let (cluster, fs) = fresh();
+    generate_microbench_input(&fs, &HPath::new("/in"), 192, 64, PARTS, 11).unwrap();
+    let mut engine = M3REngine::with_options(
+        cluster.clone(),
+        Arc::new(fs.clone()),
+        M3ROptions {
+            worker_threads: WORKERS,
+            real_parallelism: false,
+            memory: Some(MemoryOptions {
+                budget_bytes_per_place: Some(256),
+                policy: PolicyKind::Lru,
+                oom: OomMode::FailFast,
+            }),
+            ..M3ROptions::default()
+        },
+    );
+    let err = run_microbench(
+        &mut engine,
+        &HPath::new("/in"),
+        &HPath::new("/mb"),
+        0.5,
+        3,
+        PARTS,
+        true,
+        None,
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("out of memory"),
+        "expected an OOM error, got: {err}"
+    );
+    let evictions: u64 = (0..PLACES).map(|p| cluster.mem().evictions(p)).sum();
+    assert_eq!(evictions, 0, "fail_fast must never spill");
+}
+
+// ---------------------------------------------------------------------------
+// Property: live cached bytes never exceed the budget
+// ---------------------------------------------------------------------------
+
+fn test_seq(n: usize) -> Arc<CachedSeq<IntWritable, Text>> {
+    Arc::new(CachedSeq::new(
+        (0..n as i32)
+            .map(|i| (Arc::new(IntWritable(i)), Arc::new(Text::from(format!("v{i}")))))
+            .collect(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn live_cache_bytes_never_exceed_budget(
+        budget in 32u64..160,
+        policy_pick in 0u8..3,
+        ops in proptest::collection::vec((0u8..3, 0u8..12, 1u8..5), 1..48),
+    ) {
+        let policy = match policy_pick {
+            0 => PolicyKind::Lru,
+            1 => PolicyKind::Lfu,
+            _ => PolicyKind::CostAware,
+        };
+        let places = 2usize;
+        let fs = MemFs::shared();
+        let mem = MemAccountant::new(places);
+        mem.set_budget(Some(budget));
+        let cache = KvCache::governed(
+            places,
+            mem,
+            fs.clone() as Arc<dyn hmr_api::FileSystem>,
+            policy,
+        );
+        // Model: path -> (records, len). The cache must agree after any
+        // interleaving of puts, reads (which reload spilled entries), and
+        // deletes, and must never hold more than `budget` live bytes.
+        let mut model: std::collections::HashMap<String, (usize, u64)> =
+            std::collections::HashMap::new();
+        for (op, slot, size) in ops {
+            let name = format!("/f{slot}");
+            let path = HPath::new(name.as_str());
+            let records = size as usize;
+            let len = size as u64 * 16; // 16..=64 bytes, several per budget
+            match op {
+                0 => {
+                    cache
+                        .put_seq(slot as usize % places, &path, test_seq(records), len)
+                        .unwrap();
+                    model.insert(name, (records, len));
+                }
+                1 => {
+                    let hit = cache.get_seq::<IntWritable, Text>(&path, None);
+                    match model.get(&name) {
+                        Some(&(records, _)) => {
+                            let hit = hit.expect("model says this path is cached");
+                            prop_assert_eq!(hit.seq.pairs.len(), records);
+                        }
+                        None => prop_assert!(hit.is_none()),
+                    }
+                }
+                _ => {
+                    cache.delete(&path);
+                    model.remove(&name);
+                }
+            }
+            for p in 0..places {
+                let live = cache.mem().live_class(p, MemClass::Cache);
+                prop_assert!(
+                    live <= budget,
+                    "place {} holds {} live cache bytes over budget {}",
+                    p, live, budget
+                );
+            }
+        }
+        // Everything the model remembers reloads intact — spilling loses
+        // metadata for nothing and data for no one.
+        for (name, (records, len)) in model {
+            let hit = cache
+                .get_seq::<IntWritable, Text>(&HPath::new(name.as_str()), Some(len))
+                .expect("surviving entry must be readable");
+            prop_assert_eq!(hit.seq.pairs.len(), records);
+            for (i, (k, v)) in hit.seq.pairs.iter().enumerate() {
+                prop_assert_eq!(k.0, i as i32);
+                prop_assert_eq!(v.as_ref(), &Text::from(format!("v{i}")));
+            }
+        }
+    }
+}
