@@ -1,0 +1,256 @@
+//! Multi-tenant job-server bench: many clients submitting a seeded mix of
+//! independent, chained (dependent) and shared-input (conflicting) jobs
+//! through the async ticket API.
+//!
+//! Two questions, one run each:
+//!
+//! * **Does concurrency pay?** A worker sweep (1/2/4/8 dispatch workers)
+//!   over the identical 48-job mix reports wall-clock makespan. More
+//!   workers overlap more independent lanes, so wall time drops while —
+//!   the tentpole invariant — the folded **simulated** seconds stay
+//!   bit-identical (the `sim_bits` column; CI asserts equality across the
+//!   sweep).
+//! * **What do tenants experience?** Per-client submit→resolve wall-clock
+//!   latency percentiles (p50/p95/p99) at 8 workers. Chained and
+//!   shared-input jobs queue behind their conflict edges, so the tail
+//!   percentiles show DAG waiting, not server overhead.
+//!
+//! Writes `bench-results/server.txt` and `bench-results/server.json`
+//! (tables, via [`BenchReport`]). The job mix is seeded per client and
+//! submitted from one thread in a fixed round-robin order, so every sweep
+//! row schedules the same DAG.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hmr_api::conf::JobConf;
+use hmr_api::io::seqfile::write_seq_file;
+use hmr_api::partition::HashPartitioner;
+use hmr_api::writable::{IntWritable, Text};
+use hmr_api::HPath;
+use m3r::{M3REngine, RepartitionJob};
+use m3r_bench::{fresh, secs, write_bench_file, BenchReport};
+use m3r_server::{JobServer, JobTicket, ServerOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simdfs::SimDfs;
+
+const NODES: usize = 8;
+const CLIENTS: usize = 6;
+const JOBS_PER_CLIENT: usize = 8;
+const RECORDS: i32 = 400;
+const REDUCERS: usize = 4;
+const MIX_SEED: u64 = 42;
+
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    /// Reads the client's private base input — no conflict edges.
+    Independent,
+    /// Reads the client's previous output — a dependency chain.
+    Chained,
+    /// Reads the shared dataset — a read conflict across clients.
+    Shared,
+}
+
+/// The seeded per-client job mix: ~55% independent, ~25% chained, ~20%
+/// shared. Job 0 of every client is always independent (nothing to chain
+/// to yet).
+fn job_mix() -> Vec<Vec<Kind>> {
+    (0..CLIENTS)
+        .map(|c| {
+            let mut rng = StdRng::seed_from_u64(MIX_SEED + c as u64);
+            (0..JOBS_PER_CLIENT)
+                .map(|j| {
+                    let roll: u32 = rng.gen_range(0u32..100);
+                    if j == 0 || roll < 55 {
+                        Kind::Independent
+                    } else if roll < 80 {
+                        Kind::Chained
+                    } else {
+                        Kind::Shared
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn gen_input(fs: &SimDfs, dir: &str, salt: i32) {
+    let records: Vec<(IntWritable, Text)> = (0..RECORDS)
+        .map(|i| {
+            (
+                IntWritable(i),
+                Text::from(format!("{salt:04}-{i:06}-{}", "x".repeat(48))),
+            )
+        })
+        .collect();
+    write_seq_file(fs, &HPath::new(format!("{dir}/part-00000")), &records).unwrap();
+}
+
+fn id_job() -> Arc<RepartitionJob<IntWritable, Text>> {
+    Arc::new(RepartitionJob::new(|| Box::new(HashPartitioner)))
+}
+
+fn conf(input: &str, output: &str) -> JobConf {
+    let mut c = JobConf::new();
+    c.add_input_path(&HPath::new(input));
+    c.set_output_path(&HPath::new(output));
+    c.set_num_reduce_tasks(REDUCERS);
+    c
+}
+
+struct ClientStats {
+    /// Submit→resolve wall-clock per job, milliseconds, sorted ascending.
+    latencies_ms: Vec<f64>,
+    sim_seconds: f64,
+}
+
+struct RunStats {
+    wall_ms: f64,
+    home_sim_seconds: f64,
+    per_client: Vec<ClientStats>,
+}
+
+fn run(workers: usize, mix: &[Vec<Kind>]) -> RunStats {
+    let (cluster, fs) = fresh(NODES, 0.0);
+    for c in 0..CLIENTS {
+        gen_input(&fs, &format!("/c{c}/in"), c as i32);
+    }
+    gen_input(&fs, "/shared", 999);
+
+    let server = JobServer::with_options(
+        M3REngine::new(cluster.clone(), Arc::new(fs)),
+        ServerOptions { workers },
+    );
+    let t0 = Instant::now();
+
+    // Fixed round-robin submission order: admission (and therefore the
+    // conflict DAG and the fold order) is identical for every sweep row.
+    let mut last_out: Vec<String> = (0..CLIENTS).map(|c| format!("/c{c}/in")).collect();
+    let mut tickets: Vec<(usize, Instant, JobTicket)> = Vec::new();
+    for j in 0..JOBS_PER_CLIENT {
+        for (c, kinds) in mix.iter().enumerate() {
+            let input = match kinds[j] {
+                Kind::Independent => format!("/c{c}/in"),
+                Kind::Chained => last_out[c].clone(),
+                Kind::Shared => "/shared".to_string(),
+            };
+            let output = format!("/c{c}/job{j}");
+            let submitted = Instant::now();
+            let ticket = server
+                .client_as(&format!("client-{c}"))
+                .submit(id_job(), &conf(&input, &output))
+                .unwrap();
+            last_out[c] = output;
+            tickets.push((c, submitted, ticket));
+        }
+    }
+
+    // One waiter per ticket so each resolution is timestamped promptly,
+    // independent of every other ticket's wait.
+    let observed: Vec<(usize, f64, f64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = tickets
+            .iter()
+            .map(|(c, submitted, ticket)| {
+                s.spawn(move || {
+                    let r = ticket.wait().expect("bench job failed");
+                    let latency_ms = submitted.elapsed().as_secs_f64() * 1e3;
+                    (*c, latency_ms, r.sim_time)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+
+    let mut per_client: Vec<ClientStats> = (0..CLIENTS)
+        .map(|_| ClientStats {
+            latencies_ms: Vec::new(),
+            sim_seconds: 0.0,
+        })
+        .collect();
+    for (c, latency_ms, sim) in observed {
+        per_client[c].latencies_ms.push(latency_ms);
+        per_client[c].sim_seconds += sim;
+    }
+    for cs in &mut per_client {
+        cs.latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    }
+    RunStats {
+        wall_ms,
+        home_sim_seconds: cluster.max_time(),
+        per_client,
+    }
+}
+
+fn pct(sorted_ms: &[f64], q: f64) -> f64 {
+    assert!(!sorted_ms.is_empty());
+    let idx = ((q * sorted_ms.len() as f64).ceil() as usize).max(1) - 1;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn ms(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn main() {
+    let mix = job_mix();
+    let mut report = BenchReport::new("server");
+    let mut txt = String::new();
+
+    // -- worker sweep -------------------------------------------------------
+    let mut rows = Vec::new();
+    let mut runs: Vec<(usize, RunStats)> = Vec::new();
+    for workers in [1, 2, 4, 8] {
+        let stats = run(workers, &mix);
+        rows.push(vec![
+            workers.to_string(),
+            ms(stats.wall_ms),
+            secs(stats.home_sim_seconds),
+            stats.home_sim_seconds.to_bits().to_string(),
+            (CLIENTS * JOBS_PER_CLIENT).to_string(),
+        ]);
+        runs.push((workers, stats));
+    }
+    report.table(
+        &format!(
+            "worker sweep: {CLIENTS} clients x {JOBS_PER_CLIENT} jobs (seeded independent/chained/shared mix)"
+        ),
+        &["workers", "wall_ms", "sim_seconds", "sim_bits", "jobs"],
+        rows.clone(),
+    );
+    push_txt(&mut txt, "worker sweep", &rows);
+
+    // -- per-client latency at the widest setting ---------------------------
+    let (workers, widest) = runs.last().unwrap();
+    let mut crows = Vec::new();
+    for (c, cs) in widest.per_client.iter().enumerate() {
+        crows.push(vec![
+            format!("client-{c}"),
+            cs.latencies_ms.len().to_string(),
+            ms(pct(&cs.latencies_ms, 0.50)),
+            ms(pct(&cs.latencies_ms, 0.95)),
+            ms(pct(&cs.latencies_ms, 0.99)),
+            secs(cs.sim_seconds),
+        ]);
+    }
+    report.table(
+        &format!("per-client submit->resolve latency at {workers} workers"),
+        &["client", "jobs", "p50_ms", "p95_ms", "p99_ms", "sim_seconds"],
+        crows.clone(),
+    );
+    push_txt(&mut txt, "per-client latency", &crows);
+
+    let txt_path = write_bench_file("server.txt", &txt).expect("write server.txt");
+    println!("wrote {}", txt_path.display());
+    report.finish().expect("write server.json");
+}
+
+fn push_txt(txt: &mut String, title: &str, rows: &[Vec<String>]) {
+    txt.push_str(&format!("# {title}\n"));
+    for row in rows {
+        txt.push_str(&row.join(","));
+        txt.push('\n');
+    }
+}

@@ -32,7 +32,7 @@
 //! [`OomMode::FailFast`] the cache errors instead of spilling — the
 //! paper's "must fit in memory" contract, verbatim.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use kvstore::policy::{EvictionPolicy, PolicyKind};
@@ -138,6 +138,10 @@ struct Entry {
     resident: bool,
     spill_path: Option<HPath>,
     codec: Codec,
+    /// The tenant (interned client id) whose job produced this entry, when
+    /// the put came through the §5.3 job server. Quota enforcement charges
+    /// the entry's bytes to this tenant.
+    owner: Option<u32>,
 }
 
 /// Mutable governor state, held under one lock across each cache
@@ -151,6 +155,14 @@ struct GovState {
     entries: HashMap<HPath, Entry>,
     by_id: HashMap<u64, HPath>,
     next_id: u64,
+    /// Interned tenant names; a tenant's id is its index here. Interning
+    /// order is submission order under the job server, so iteration by id
+    /// is deterministic.
+    tenants: Vec<String>,
+    /// Per-tenant resident-byte quotas (total across places), keyed by
+    /// interned id. `BTreeMap` so quota enforcement visits tenants in a
+    /// fixed order.
+    quotas: BTreeMap<u32, u64>,
 }
 
 impl GovState {
@@ -160,6 +172,18 @@ impl GovState {
         self.by_id.insert(id, path);
         self.policies[entry_place].on_insert(id, bytes);
         id
+    }
+
+    fn intern(&mut self, tenant: &str) -> u32 {
+        if let Some(i) = self.tenants.iter().position(|t| t == tenant) {
+            return i as u32;
+        }
+        self.tenants.push(tenant.to_string());
+        (self.tenants.len() - 1) as u32
+    }
+
+    fn tenant_id(&self, tenant: &str) -> Option<u32> {
+        self.tenants.iter().position(|t| t == tenant).map(|i| i as u32)
     }
 }
 
@@ -225,6 +249,8 @@ impl KvCache {
                 entries: HashMap::new(),
                 by_id: HashMap::new(),
                 next_id: 0,
+                tenants: Vec::new(),
+                quotas: BTreeMap::new(),
             })),
             spill,
         }
@@ -251,6 +277,21 @@ impl KvCache {
         seq: Arc<CachedSeq<K, V>>,
         len: u64,
     ) -> Result<()> {
+        self.put_seq_for(place, path, seq, len, None)
+    }
+
+    /// [`KvCache::put_seq`] with tenant attribution: when `owner` is given,
+    /// the entry's bytes count against that client's residency quota (if
+    /// one is set). The job server stamps `m3r.client.id` into submitted
+    /// confs and the engine threads it through to here.
+    pub fn put_seq_for<K: Writable, V: Writable>(
+        &self,
+        place: usize,
+        path: &HPath,
+        seq: Arc<CachedSeq<K, V>>,
+        len: u64,
+        owner: Option<&str>,
+    ) -> Result<()> {
         let records = seq.pairs.len() as u64;
         let kp = kpath(path);
         let mut st = self.state.lock();
@@ -261,6 +302,7 @@ impl KvCache {
             .write_block(place, &kp, CacheMeta { len, records }, seq, len)
             .expect("cache path cannot collide after delete");
         let codec = Codec::of::<K, V>();
+        let owner = owner.map(|t| st.intern(t));
         let id = st.admit(path.clone(), place, len);
         st.entries.insert(
             path.clone(),
@@ -272,11 +314,55 @@ impl KvCache {
                 resident: true,
                 spill_path: None,
                 codec,
+                owner,
             },
         );
         self.mem.grow(place, MemClass::Cache, len);
         trace::mark(trace::Phase::Cache, "cache_put", None);
         self.enforce_locked(&mut st)
+    }
+
+    /// Set (or clear with `None`) `client`'s resident-byte quota — the
+    /// total cached bytes its jobs' entries may keep resident across all
+    /// places. Requires a spill target (a governed cache); ungoverned
+    /// caches ignore quotas. Setting a quota below current residency
+    /// triggers immediate quota-priority eviction in [`OomMode::Spill`].
+    pub fn set_client_quota(&self, client: &str, quota: Option<u64>) {
+        let mut st = self.state.lock();
+        let tenant = st.intern(client);
+        match quota {
+            Some(q) => {
+                st.quotas.insert(tenant, q);
+            }
+            None => {
+                st.quotas.remove(&tenant);
+            }
+        }
+        // Re-enforce right away so a tightened quota takes effect before
+        // the tenant's next put. Under `FailFast` the error (quota already
+        // exceeded) is deferred to the next put, which reports it.
+        let _ = self.enforce_locked(&mut st);
+    }
+
+    /// True when any client has a residency quota. The job server consults
+    /// this to decide whether jobs must run exclusively (eviction order
+    /// under concurrent jobs would be schedule-dependent).
+    pub fn has_quotas(&self) -> bool {
+        !self.state.lock().quotas.is_empty()
+    }
+
+    /// Resident cached bytes currently attributed to `client` across all
+    /// places (spilled entries count zero).
+    pub fn client_resident_bytes(&self, client: &str) -> u64 {
+        let st = self.state.lock();
+        let Some(tenant) = st.tenant_id(client) else {
+            return 0;
+        };
+        st.entries
+            .values()
+            .filter(|e| e.resident && e.owner == Some(tenant))
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// Typed lookup. `expected_len` (from a split's byte range) guards
@@ -360,13 +446,20 @@ impl KvCache {
         Some(CacheHit { seq, place, meta })
     }
 
-    /// Evict victims until every place fits its budget (no-op when
-    /// ungoverned or the budget is infinite — the accountant then never
+    /// Evict victims until every over-quota tenant fits its quota and every
+    /// place fits its budget (no-op when ungoverned, or when the budget is
+    /// infinite and no quotas are set — the accountant then never
     /// influences behaviour, which is what the bit-equality tests pin).
+    ///
+    /// Quotas are enforced *first* — "over-quota tenants evict first" — so
+    /// the budget step below only ever evicts from tenants already within
+    /// their quotas (or unattributed entries).
     fn enforce_locked(&self, st: &mut GovState) -> Result<()> {
         let Some(spill) = &self.spill else {
             return Ok(());
         };
+        let spill = Arc::clone(spill);
+        self.enforce_quotas_locked(st, &spill)?;
         let Some(budget) = self.mem.budget() else {
             return Ok(());
         };
@@ -390,6 +483,56 @@ impl KvCache {
                     break;
                 };
                 self.spill_locked(st, victim, spill.as_ref())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Quota-priority eviction: for each quota'd tenant in interned order,
+    /// spill that tenant's own entries — chosen by the place's normal
+    /// eviction policy, restricted to the tenant ([`EvictionPolicy::
+    /// victim_from`]) — until its total residency fits the quota. Victims
+    /// come from the place where the tenant holds the most bytes (ties to
+    /// the smallest place id) so pressure is relieved where it is worst.
+    fn enforce_quotas_locked(&self, st: &mut GovState, spill: &SpillTarget) -> Result<()> {
+        let quotas: Vec<(u32, u64)> = st.quotas.iter().map(|(t, q)| (*t, *q)).collect();
+        for (tenant, quota) in quotas {
+            loop {
+                let mut per_place = vec![0u64; self.store.num_places()];
+                for e in st.entries.values() {
+                    if e.resident && e.owner == Some(tenant) {
+                        per_place[e.place] += e.bytes;
+                    }
+                }
+                let total: u64 = per_place.iter().sum();
+                if total <= quota {
+                    break;
+                }
+                if self.mem.oom_mode() == OomMode::FailFast {
+                    return Err(HmrError::OutOfMemory(format!(
+                        "client `{}` holds {total} resident cached bytes against a \
+                         quota of {quota} (fail_fast: refusing to spill)",
+                        st.tenants[tenant as usize]
+                    )));
+                }
+                let place = per_place
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, b)| (**b, std::cmp::Reverse(*i)))
+                    .map(|(i, _)| i)
+                    .expect("at least one place");
+                let allowed: HashSet<u64> = st
+                    .entries
+                    .values()
+                    .filter(|e| e.resident && e.owner == Some(tenant) && e.place == place)
+                    .map(|e| e.id)
+                    .collect();
+                let Some(victim) =
+                    st.policies[place].victim_from(&mut |id| allowed.contains(&id))
+                else {
+                    break;
+                };
+                self.spill_locked(st, victim, spill)?;
             }
         }
         Ok(())
@@ -729,6 +872,86 @@ mod tests {
             .map(|l| l.len())
             .unwrap_or(0);
         assert_eq!(spills, 0, "no orphaned spill files after delete");
+    }
+
+    #[test]
+    fn client_quota_evicts_the_over_quota_tenant_only() {
+        // Infinite budget, but tenant "big" is capped at 45 bytes: its
+        // third put pushes it to 60, so its coldest entry spills. Tenant
+        // "small" (and the unattributed entry) must be untouched.
+        let fs = MemFs::shared();
+        let mem = MemAccountant::new(2);
+        let cache =
+            KvCache::governed(2, mem, fs.clone() as Arc<dyn FileSystem>, PolicyKind::Lru);
+        cache
+            .put_seq_for(0, &HPath::new("/s/a"), seq(1), 20, Some("small"))
+            .unwrap();
+        cache.put_seq(1, &HPath::new("/free"), seq(1), 20).unwrap();
+        cache.set_client_quota("big", Some(45));
+        cache
+            .put_seq_for(0, &HPath::new("/b/1"), seq(2), 20, Some("big"))
+            .unwrap();
+        cache
+            .put_seq_for(1, &HPath::new("/b/2"), seq(2), 20, Some("big"))
+            .unwrap();
+        assert_eq!(cache.mem().evictions(0) + cache.mem().evictions(1), 0);
+        cache
+            .put_seq_for(0, &HPath::new("/b/3"), seq(2), 20, Some("big"))
+            .unwrap();
+        assert_eq!(cache.client_resident_bytes("big"), 40, "evicted down to quota");
+        assert_eq!(cache.client_resident_bytes("small"), 20, "innocent tenant kept");
+        assert_eq!(
+            cache.mem().evictions(0) + cache.mem().evictions(1),
+            1,
+            "exactly one quota eviction"
+        );
+        // The victim was big's LRU entry at its heaviest place (place 0
+        // held /b/1 and /b/3 = 40 vs 20 at place 1; LRU there is /b/1).
+        assert!(
+            cache
+                .get_seq::<IntWritable, Text>(&HPath::new("/b/1"), None)
+                .is_some(),
+            "spilled entry still reloads on demand"
+        );
+        assert!(cache.has_quotas());
+        cache.set_client_quota("big", None);
+        assert!(!cache.has_quotas());
+    }
+
+    #[test]
+    fn tightening_a_quota_evicts_immediately() {
+        let fs = MemFs::shared();
+        let mem = MemAccountant::new(1);
+        let cache =
+            KvCache::governed(1, mem, fs.clone() as Arc<dyn FileSystem>, PolicyKind::Lru);
+        cache
+            .put_seq_for(0, &HPath::new("/t/a"), seq(2), 30, Some("c1"))
+            .unwrap();
+        cache
+            .put_seq_for(0, &HPath::new("/t/b"), seq(2), 30, Some("c1"))
+            .unwrap();
+        assert_eq!(cache.client_resident_bytes("c1"), 60);
+        cache.set_client_quota("c1", Some(30));
+        assert_eq!(cache.client_resident_bytes("c1"), 30);
+        assert_eq!(cache.mem().evictions(0), 1);
+    }
+
+    #[test]
+    fn quota_with_fail_fast_errors_on_the_overflowing_put() {
+        let fs = MemFs::shared();
+        let mem = MemAccountant::new(1);
+        mem.set_oom_mode(OomMode::FailFast);
+        let cache =
+            KvCache::governed(1, mem, fs.clone() as Arc<dyn FileSystem>, PolicyKind::Lru);
+        cache.set_client_quota("c", Some(25));
+        cache
+            .put_seq_for(0, &HPath::new("/a"), seq(1), 20, Some("c"))
+            .unwrap();
+        let err = cache
+            .put_seq_for(0, &HPath::new("/b"), seq(1), 20, Some("c"))
+            .unwrap_err();
+        assert!(matches!(err, HmrError::OutOfMemory(_)), "{err}");
+        assert_eq!(cache.mem().evictions(0), 0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use hmr_api::distcache::DistCache;
 use hmr_api::error::{HmrError, Result};
 use hmr_api::fs::{FileSystem, HPath};
 use hmr_api::io::{part_file_name, InputSplit, OutputFormat};
-use hmr_api::job::{Engine, JobDef, JobResult};
+use hmr_api::job::{Engine, JobDef, JobResult, LaneEngine};
 use hmr_api::writable::{write_vu64, Writable};
 use kvstore::policy::PolicyKind;
 use simgrid::cost::Charge;
@@ -123,7 +123,9 @@ pub struct M3REngine {
     cluster: Cluster,
     fs: Arc<CachingFs>,
     opts: M3ROptions,
-    job_seq: u64,
+    /// Monotonic job ordinal; atomic so concurrent lane submissions (the
+    /// multi-tenant server) can allocate without `&mut self`.
+    job_seq: AtomicU64,
     /// Distributed-cache bytes survive across jobs in the long-lived
     /// places (nothing in M3R restarts between jobs).
     dist_memo: Mutex<HashMap<HPath, Bytes>>,
@@ -171,7 +173,7 @@ impl M3REngine {
             fs: Arc::new(CachingFs::new(fs, cache)),
             cluster,
             opts,
-            job_seq: 0,
+            job_seq: AtomicU64::new(0),
             dist_memo: Mutex::new(HashMap::new()),
             pools,
         }
@@ -208,13 +210,11 @@ impl M3REngine {
         &self.opts
     }
 
-    fn place_map(&self) -> PlaceMap {
+    fn place_map(&self, job_seq: u64) -> PlaceMap {
         if self.opts.partition_stability {
             PlaceMap::Stable
         } else {
-            PlaceMap::Unstable {
-                job_seq: self.job_seq,
-            }
+            PlaceMap::Unstable { job_seq }
         }
     }
 
@@ -250,8 +250,13 @@ impl M3REngine {
             while let Some((k, v)) = reader.next()? {
                 pairs.push((Arc::new(k), Arc::new(v)));
             }
-            self.cache()
-                .put_seq(place, &path, Arc::new(CachedSeq::new(pairs)), split.length())?;
+            self.cache().put_seq_for(
+                place,
+                &path,
+                Arc::new(CachedSeq::new(pairs)),
+                split.length(),
+                conf.client_id(),
+            )?;
         }
         Ok(())
     }
@@ -373,9 +378,56 @@ impl Engine for M3REngine {
     }
 
     fn run_job<J: JobDef>(&mut self, job: Arc<J>, conf: &JobConf) -> Result<JobResult> {
-        self.job_seq += 1;
-        let place_map = self.place_map();
+        let seq = self.job_seq.fetch_add(1, Ordering::SeqCst) + 1;
         let cluster = self.cluster.clone();
+        self.run_job_inner(&cluster, seq, job, conf)
+    }
+}
+
+impl LaneEngine for M3REngine {
+    fn home(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn run_lane<J: JobDef>(
+        &self,
+        lane: &Cluster,
+        seq: u64,
+        job: Arc<J>,
+        conf: &JobConf,
+    ) -> Result<JobResult> {
+        self.run_job_inner(lane, seq, job, conf)
+    }
+
+    fn exclusive_only(&self) -> bool {
+        // Under a finite budget or active quotas, cache-eviction order
+        // depends on job interleaving; the server serializes dispatch so
+        // the eviction sequence stays admission-deterministic.
+        self.cluster.mem().budget().is_some() || self.cache().has_quotas()
+    }
+
+    fn set_client_quota(&self, client: &str, quota: Option<u64>) {
+        self.cache().set_client_quota(client, quota);
+    }
+}
+
+impl M3REngine {
+    /// The shared body of [`Engine::run_job`] and [`LaneEngine::run_lane`]:
+    /// run one job against `cluster` (the home cluster for the classic
+    /// blocking path, a [`Cluster::job_lane`] for server submissions) with
+    /// `job_seq` as the engine-level job ordinal. Everything job-scoped
+    /// (clocks, metrics deltas, trace job id) comes from `cluster`; the
+    /// engine contributes the long-lived state — world, cache, buffer
+    /// pools, distributed-cache memo.
+    fn run_job_inner<J: JobDef>(
+        &self,
+        cluster: &Cluster,
+        job_seq: u64,
+        job: Arc<J>,
+        conf: &JobConf,
+    ) -> Result<JobResult> {
+        let place_map = self.place_map(job_seq);
+        let cluster = cluster.clone();
         let nplaces = cluster.len();
         let t0 = cluster.max_time();
         let m0 = cluster.metrics().snapshot();
@@ -772,8 +824,13 @@ fn run_map_task<J: JobDef>(
                 if let Some((path, _)) = &target {
                     // "Before passing it to the mapper, M3R caches the
                     // key/value pairs in memory."
-                    fs.cache()
-                        .put_seq(place, path, Arc::clone(&seq), split.length())?;
+                    fs.cache().put_seq_for(
+                        place,
+                        path,
+                        Arc::clone(&seq),
+                        split.length(),
+                        conf.client_id(),
+                    )?;
                 }
             }
             seq
@@ -1169,7 +1226,12 @@ where
             .map(|s| s.len)
             .unwrap_or_else(|_| seq_file_len(&pairs))
     };
-    fs.cache()
-        .put_seq(place, &part_path, Arc::new(CachedSeq::new(pairs)), len)?;
+    fs.cache().put_seq_for(
+        place,
+        &part_path,
+        Arc::new(CachedSeq::new(pairs)),
+        len,
+        conf.client_id(),
+    )?;
     Ok(())
 }

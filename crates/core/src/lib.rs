@@ -50,7 +50,6 @@ pub mod cachefs;
 pub mod engine;
 pub mod interop;
 pub mod repartition;
-pub mod server;
 pub mod shuffle;
 pub mod stability;
 
@@ -61,7 +60,6 @@ pub use kvstore::policy::PolicyKind;
 pub use simgrid::mem::{MemAccountant, MemClass, OomMode};
 pub use interop::{JobClient, Ran};
 pub use repartition::{repartition, RepartitionJob};
-pub use server::{M3RClient, M3RServer};
 pub use shuffle::{decode_stream, MapOutputBuffer, ShuffleStream};
 pub use stability::PlaceMap;
 pub use x10rt::serialize::DedupMode;

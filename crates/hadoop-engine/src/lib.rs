@@ -37,7 +37,7 @@ use hmr_api::distcache::DistCache;
 use hmr_api::error::{HmrError, Result};
 use hmr_api::fs::FileSystem;
 use hmr_api::io::{InputFormat, InputSplit, OutputFormat, RecordWriter};
-use hmr_api::job::{Engine, JobDef, JobResult};
+use hmr_api::job::{Engine, JobDef, JobResult, LaneEngine};
 use hmr_api::writable::Writable;
 use simgrid::cost::Charge;
 use simgrid::trace::{self, Phase};
@@ -202,6 +202,40 @@ impl Engine for HadoopEngine {
 
     fn run_job<J: JobDef>(&mut self, job: Arc<J>, conf: &JobConf) -> Result<JobResult> {
         let cluster = self.cluster.clone();
+        self.run_job_inner(&cluster, job, conf)
+    }
+}
+
+impl LaneEngine for HadoopEngine {
+    fn home(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn run_lane<J: JobDef>(
+        &self,
+        lane: &Cluster,
+        _seq: u64,
+        job: Arc<J>,
+        conf: &JobConf,
+    ) -> Result<JobResult> {
+        // Hadoop keeps nothing between jobs (no cache, no quotas), so
+        // the sequence number is irrelevant and lanes never need to be
+        // serialized: the default `exclusive_only` (false) stands.
+        self.run_job_inner(lane, job, conf)
+    }
+}
+
+impl HadoopEngine {
+    /// The shared body of [`Engine::run_job`] and [`LaneEngine::run_lane`]:
+    /// run one job against `cluster` — the home cluster on the classic
+    /// blocking path, a [`Cluster::job_lane`] for server submissions.
+    fn run_job_inner<J: JobDef>(
+        &self,
+        cluster: &Cluster,
+        job: Arc<J>,
+        conf: &JobConf,
+    ) -> Result<JobResult> {
+        let cluster = cluster.clone();
         let nnodes = cluster.len();
         let t0 = cluster.max_time();
         let m0 = cluster.metrics().snapshot();

@@ -29,6 +29,10 @@ pub const TEMP_PATHS: &str = "m3r.temp.paths";
 /// M3R extension (§5.3): when set to `true`, an M3R-aware client asks for
 /// this job to be delegated to a stock Hadoop engine.
 pub const USE_HADOOP: &str = "m3r.use.hadoop.engine";
+/// M3R server extension (§5.3): the identity of the client that submitted
+/// this job. Stamped by the job server's `SubmissionBuilder`; the engine
+/// uses it to attribute cache residency to tenants for quota enforcement.
+pub const CLIENT_ID: &str = "m3r.client.id";
 
 /// A string-keyed configuration map with typed accessors.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -188,6 +192,16 @@ impl JobConf {
     /// §5.3: an M3R-aware client can force this job onto the Hadoop engine.
     pub fn use_hadoop_engine(&self) -> bool {
         self.get_bool(USE_HADOOP, false)
+    }
+
+    /// §5.3 server mode: the submitting client's identity, if any.
+    pub fn client_id(&self) -> Option<&str> {
+        self.get(CLIENT_ID)
+    }
+
+    /// Record the submitting client's identity (done by the job server).
+    pub fn set_client_id(&mut self, client: &str) -> &mut Self {
+        self.set(CLIENT_ID, client)
     }
 
     /// Iterate over all properties.

@@ -19,6 +19,11 @@ pub enum HmrError {
     /// A place exceeded its memory budget under the `fail_fast` OOM mode
     /// (the paper's "the job family must fit in memory" contract).
     OutOfMemory(String),
+    /// The job server is shutting down (or already down) and will not run
+    /// this job (§5.3 server mode).
+    ServerShutdown(String),
+    /// The job was cancelled before it started running.
+    Cancelled(String),
 }
 
 impl std::fmt::Display for HmrError {
@@ -31,6 +36,8 @@ impl std::fmt::Display for HmrError {
             HmrError::Unsupported(s) => write!(f, "unsupported: {s}"),
             HmrError::InvalidJob(s) => write!(f, "invalid job: {s}"),
             HmrError::OutOfMemory(s) => write!(f, "out of memory: {s}"),
+            HmrError::ServerShutdown(s) => write!(f, "server shutdown: {s}"),
+            HmrError::Cancelled(s) => write!(f, "cancelled: {s}"),
         }
     }
 }

@@ -130,6 +130,41 @@ pub trait Engine {
     fn run_job<J: JobDef>(&mut self, job: Arc<J>, conf: &JobConf) -> Result<JobResult>;
 }
 
+/// An engine that can run jobs on per-job *lanes* — isolated views of its
+/// home cluster with private clocks/metrics but shared places, filesystem,
+/// cache, and memory accounting. This is what the §5.3 multi-tenant job
+/// server schedules against: independent jobs run concurrently, each on its
+/// own lane, and the server folds lane results back into the home cluster
+/// in admission order so totals stay deterministic.
+pub trait LaneEngine: Engine {
+    /// The engine's home cluster (lanes are derived from it via
+    /// `Cluster::job_lane`).
+    fn home(&self) -> &simgrid::Cluster;
+
+    /// Run one job against `lane`, using `seq` as the engine-level job
+    /// sequence number (the server allocates these in admission order so
+    /// partition-stability memo keys stay deterministic).
+    fn run_lane<J: JobDef>(
+        &self,
+        lane: &simgrid::Cluster,
+        seq: u64,
+        job: Arc<J>,
+        conf: &JobConf,
+    ) -> Result<JobResult>;
+
+    /// True when jobs must not overlap in execution — e.g. a memory budget
+    /// or cache quotas are active, so cache-eviction order (which depends on
+    /// job interleaving) would become schedule-dependent. The server then
+    /// serializes dispatch while keeping the async ticket API.
+    fn exclusive_only(&self) -> bool {
+        false
+    }
+
+    /// Set (or clear) a per-client cache residency quota in bytes. Engines
+    /// without a governed cache ignore this.
+    fn set_client_quota(&self, _client: &str, _quota: Option<u64>) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,13 @@ pub trait EvictionPolicy: Send {
     /// Choose the next victim and forget it, or `None` when the policy
     /// tracks no entries. Ties break on insertion order (smallest id).
     fn victim(&mut self) -> Option<u64>;
+
+    /// Like [`EvictionPolicy::victim`], but restricted to entries for which
+    /// `allowed` returns true; the chosen entry is forgotten. The governed
+    /// cache uses this for quota-priority eviction — "evict from the
+    /// over-quota tenant first" — while preserving each policy's own
+    /// ordering among the allowed entries.
+    fn victim_from(&mut self, allowed: &mut dyn FnMut(u64) -> bool) -> Option<u64>;
 }
 
 /// Which built-in policy a governed cache should use.
@@ -117,6 +124,17 @@ impl EvictionPolicy for Lru {
         self.last_touch.remove(&id);
         Some(id)
     }
+
+    fn victim_from(&mut self, allowed: &mut dyn FnMut(u64) -> bool) -> Option<u64> {
+        let id = self
+            .last_touch
+            .iter()
+            .filter(|(id, _)| allowed(**id))
+            .min_by_key(|(_, stamp)| **stamp)
+            .map(|(id, _)| *id)?;
+        self.last_touch.remove(&id);
+        Some(id)
+    }
 }
 
 /// Least-frequently-used, ties broken toward the older (smaller) id.
@@ -148,6 +166,17 @@ impl EvictionPolicy for Lfu {
         let id = self
             .freq
             .iter()
+            .min_by_key(|(id, f)| (**f, **id))
+            .map(|(id, _)| *id)?;
+        self.freq.remove(&id);
+        Some(id)
+    }
+
+    fn victim_from(&mut self, allowed: &mut dyn FnMut(u64) -> bool) -> Option<u64> {
+        let id = self
+            .freq
+            .iter()
+            .filter(|(id, _)| allowed(**id))
             .min_by_key(|(id, f)| (**f, **id))
             .map(|(id, _)| *id)?;
         self.freq.remove(&id);
@@ -204,6 +233,17 @@ impl EvictionPolicy for CostAware {
         self.entries.remove(&id);
         Some(id)
     }
+
+    fn victim_from(&mut self, allowed: &mut dyn FnMut(u64) -> bool) -> Option<u64> {
+        let id = self
+            .entries
+            .iter()
+            .filter(|(id, _)| allowed(**id))
+            .min_by_key(|(id, (f, b))| (cost_score(*f, *b), **id))
+            .map(|(id, _)| *id)?;
+        self.entries.remove(&id);
+        Some(id)
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +294,29 @@ mod tests {
         q.on_insert(2, 1 << 20);
         q.on_access(1);
         assert_eq!(q.victim(), Some(2));
+    }
+
+    #[test]
+    fn victim_from_respects_the_filter_and_the_policy_order() {
+        for kind in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::CostAware] {
+            let mut p = kind.build();
+            p.on_insert(1, 10);
+            p.on_insert(2, 10);
+            p.on_insert(3, 10);
+            // Restricted to {2, 3}, every policy picks 2 first (coldest /
+            // least frequent / oldest among equals).
+            assert_eq!(
+                p.victim_from(&mut |id| id != 1),
+                Some(2),
+                "{}",
+                kind.name()
+            );
+            // The chosen entry is forgotten; the filter still applies.
+            assert_eq!(p.victim_from(&mut |id| id != 1), Some(3), "{}", kind.name());
+            assert_eq!(p.victim_from(&mut |id| id != 1), None, "{}", kind.name());
+            // Entry 1 remains for the unrestricted path.
+            assert_eq!(p.victim(), Some(1), "{}", kind.name());
+        }
     }
 
     #[test]

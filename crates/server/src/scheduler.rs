@@ -1,0 +1,497 @@
+//! The multi-tenant scheduler: a pool of dispatch workers running admitted
+//! jobs concurrently on isolated [`simgrid::Cluster::job_lane`]s of one
+//! shared engine.
+//!
+//! **Determinism.** The server admits jobs in submission order (`seq`),
+//! registers their trace ids in that order, and builds a conflict DAG over
+//! job *footprints* (input paths ∪ output path ∪ distributed-cache files,
+//! compared component-wise by path prefix): a job depends on every
+//! earlier-admitted unresolved job whose footprint overlaps its own. Jobs
+//! without an edge touch disjoint files — and therefore disjoint cache
+//! entries — so they commute. Each job runs on its own lane (fresh clocks
+//! and metrics, shared memory accountant), and completed lanes are folded
+//! back into the home cluster **strictly in admission order**: every home
+//! clock advances uniformly by the lane's `max_time()` and the lane's
+//! metrics are absorbed. The result: simulated seconds, metrics totals and
+//! outputs are bit-identical whether the server runs with one worker or
+//! many (pinned by `tests/server.rs`).
+//!
+//! When the engine reports [`LaneEngine::exclusive_only`] (finite memory
+//! budget or active cache quotas — eviction order must follow admission
+//! order, never the thread schedule), dispatch serializes: one job in
+//! flight at a time, the ticket API unchanged.
+
+use std::collections::{BTreeMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hmr_api::error::{HmrError, Result};
+use hmr_api::fs::HPath;
+use hmr_api::job::{JobResult, LaneEngine};
+use parking_lot::{Condvar, Mutex};
+use simgrid::metrics::MetricsSnapshot;
+use simgrid::Cluster;
+
+use crate::submit::Client;
+use crate::ticket::{JobStatus, TicketInner};
+
+/// A boxed job body: runs one submission against its lane. Created at
+/// submit time (capturing the typed `JobDef`), invoked by a worker.
+pub(crate) type RunFn<E> = Box<dyn FnOnce(&E, &Cluster) -> Result<JobResult> + Send>;
+
+/// Scheduler tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Dispatch workers — the maximum number of jobs in flight at once.
+    /// Totals are bit-identical for any value ≥ 1 (see module docs).
+    pub workers: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions { workers: 4 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EntryState {
+    Queued,
+    Running,
+    /// Terminal: completed or failed.
+    Done,
+    /// Terminal: cancelled before it started.
+    Cancelled,
+}
+
+pub(crate) struct Entry<E> {
+    seq: u64,
+    priority: i32,
+    /// Trace job id, pre-registered at admission so ids follow seq order.
+    tjob: u64,
+    footprint: Vec<HPath>,
+    /// Unresolved upstream jobs this one must wait for.
+    deps: HashSet<u64>,
+    /// Later jobs waiting on this one.
+    dependents: Vec<u64>,
+    state: EntryState,
+    run: Option<RunFn<E>>,
+    ticket: Arc<TicketInner>,
+    /// Lane totals to fold into the home cluster (duration, metrics).
+    fold: Option<(f64, MetricsSnapshot)>,
+    folded: bool,
+}
+
+impl<E> Entry<E> {
+    fn resolved(&self) -> bool {
+        matches!(self.state, EntryState::Done | EntryState::Cancelled)
+    }
+}
+
+pub(crate) struct SchedState<E> {
+    /// The home cluster (fold target and lane factory); a plain handle so
+    /// cancellation and folding never need the engine itself.
+    pub(crate) home: Cluster,
+    pub(crate) entries: BTreeMap<u64, Entry<E>>,
+    pub(crate) next_seq: u64,
+    /// Fold cursor: the lowest seq not yet folded into the home cluster.
+    next_fold: u64,
+    /// Jobs currently executing on lanes.
+    running: usize,
+    pub(crate) accepting: bool,
+    /// Workers exit once set (and no dispatchable work remains).
+    stop: bool,
+}
+
+pub(crate) struct Shared<E> {
+    pub(crate) state: Mutex<SchedState<E>>,
+    pub(crate) cv: Condvar,
+}
+
+/// The job server: owns an engine, serves ticket submissions from any
+/// number of [`Client`]s until shut down.
+///
+/// This replaces the blocking single-daemon server of earlier revisions:
+/// submissions return immediately with a [`crate::JobTicket`], independent
+/// jobs from different clients overlap on the shared places, and dependent
+/// jobs wait on the conflict DAG.
+pub struct JobServer<E: LaneEngine + Send + Sync + 'static> {
+    /// `Option` so `shutdown(self) -> E` can move the engine out while a
+    /// `Drop` impl exists.
+    engine: Option<Arc<E>>,
+    shared: Arc<Shared<E>>,
+    canceller: Arc<dyn Fn(u64) -> bool + Send + Sync>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<E: LaneEngine + Send + Sync + 'static> JobServer<E> {
+    /// Start the server with default options, taking ownership of `engine`
+    /// (the places stay alive for the server's whole life).
+    pub fn start(engine: E) -> Self {
+        JobServer::with_options(engine, ServerOptions::default())
+    }
+
+    /// Start with explicit options.
+    pub fn with_options(engine: E, opts: ServerOptions) -> Self {
+        assert!(opts.workers >= 1, "a server needs at least one worker");
+        let engine = Arc::new(engine);
+        let home = engine.home().clone();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                home,
+                entries: BTreeMap::new(),
+                next_seq: 1,
+                next_fold: 1,
+                running: 0,
+                accepting: true,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let canceller = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move |seq: u64| {
+                let mut st = shared.state.lock();
+                let cancelled = cancel_entry(
+                    &mut st,
+                    seq,
+                    JobStatus::Cancelled,
+                    HmrError::Cancelled(format!("job {seq} cancelled by its ticket")),
+                );
+                drop(st);
+                if cancelled {
+                    shared.cv.notify_all();
+                }
+                cancelled
+            }) as Arc<dyn Fn(u64) -> bool + Send + Sync>
+        };
+        let workers = (0..opts.workers)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("m3r-server-{i}"))
+                    .spawn(move || worker_loop(engine, shared))
+                    .expect("spawn server worker")
+            })
+            .collect();
+        JobServer {
+            engine: Some(engine),
+            shared,
+            canceller,
+            workers,
+        }
+    }
+
+    /// A submission handle with the default client identity. Clone freely;
+    /// hand to any thread.
+    pub fn client(&self) -> Client<E> {
+        self.client_as("default")
+    }
+
+    /// A submission handle identified as `client` — the identity cache
+    /// quotas and per-client bench stats are keyed by.
+    pub fn client_as(&self, client: &str) -> Client<E> {
+        Client::new(
+            client.to_string(),
+            Arc::downgrade(self.engine.as_ref().expect("server not yet shut down")),
+            Arc::clone(&self.shared),
+            Arc::clone(&self.canceller),
+        )
+    }
+
+    /// Stop accepting submissions, **drain** every in-flight ticket
+    /// (queued jobs run to completion), then stop the workers and take the
+    /// engine back — cache and all, the §5.3 swap-in story reversed.
+    pub fn shutdown(mut self) -> E {
+        self.drain(false);
+        self.take_engine()
+    }
+
+    /// Stop accepting submissions, cancel every job that has not started
+    /// (their tickets resolve to [`HmrError::ServerShutdown`]), wait only
+    /// for already-running jobs, then take the engine back.
+    pub fn shutdown_now(mut self) -> E {
+        self.drain(true);
+        self.take_engine()
+    }
+
+    /// Close admission, optionally cancel queued jobs, wait until every
+    /// ticket is resolved and folded, and stop the workers.
+    fn drain(&mut self, cancel_queued: bool) {
+        {
+            let mut st = self.shared.state.lock();
+            st.accepting = false;
+            if cancel_queued {
+                let queued: Vec<u64> = st
+                    .entries
+                    .iter()
+                    .filter(|(_, e)| e.state == EntryState::Queued)
+                    .map(|(s, _)| *s)
+                    .collect();
+                for seq in queued {
+                    cancel_entry(
+                        &mut st,
+                        seq,
+                        JobStatus::Cancelled,
+                        HmrError::ServerShutdown(format!(
+                            "job {seq} cancelled: server shutting down"
+                        )),
+                    );
+                }
+            }
+            while !st.entries.values().all(|e| e.resolved() && e.folded) {
+                self.shared.cv.wait(&mut st);
+            }
+            st.stop = true;
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn take_engine(&mut self) -> E {
+        // Workers are joined; the only other strong handles are transient
+        // upgrades inside in-flight `submit` calls, which fail fast now
+        // that `accepting` is false.
+        let mut engine = self.engine.take().expect("engine already taken");
+        loop {
+            match Arc::try_unwrap(engine) {
+                Ok(e) => return e,
+                Err(again) => {
+                    engine = again;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl<E: LaneEngine + Send + Sync + 'static> Drop for JobServer<E> {
+    fn drop(&mut self) {
+        if self.engine.is_some() {
+            // Un-shutdown drop: cancel what hasn't started, finish what has.
+            self.drain(true);
+        }
+    }
+}
+
+/// Admission-time helper: true when two footprints overlap — some path of
+/// one is a prefix (or equal, or an extension) of some path of the other.
+/// Reads conflict too: a shared input is a shared *cache entry*, and the
+/// first reader's put must land before the second reader's lookup for the
+/// serialized schedule to be reproduced.
+pub(crate) fn footprints_overlap(a: &[HPath], b: &[HPath]) -> bool {
+    a.iter()
+        .any(|pa| b.iter().any(|pb| pa.starts_with(pb) || pb.starts_with(pa)))
+}
+
+/// Insert a fully-formed entry (submit-time, state lock held).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn admit<E>(
+    st: &mut SchedState<E>,
+    seq: u64,
+    priority: i32,
+    tjob: u64,
+    footprint: Vec<HPath>,
+    explicit_deps: &[u64],
+    run: RunFn<E>,
+    ticket: Arc<TicketInner>,
+) {
+    let mut deps: HashSet<u64> = HashSet::new();
+    for (&oseq, other) in st.entries.iter() {
+        if other.resolved() {
+            continue;
+        }
+        if explicit_deps.contains(&oseq) || footprints_overlap(&footprint, &other.footprint) {
+            deps.insert(oseq);
+        }
+    }
+    for &d in deps.iter() {
+        st.entries
+            .get_mut(&d)
+            .expect("dep taken from entries")
+            .dependents
+            .push(seq);
+    }
+    st.entries.insert(
+        seq,
+        Entry {
+            seq,
+            priority,
+            tjob,
+            footprint,
+            deps,
+            dependents: Vec::new(),
+            state: EntryState::Queued,
+            run: Some(run),
+            ticket,
+            fold: None,
+            folded: false,
+        },
+    );
+}
+
+/// Pick the next dispatchable job: ready (queued, no outstanding deps),
+/// highest priority first, then admission order. Under exclusive mode
+/// nothing dispatches while another job runs.
+fn pick_ready<E>(st: &SchedState<E>, exclusive: bool) -> Option<u64> {
+    if exclusive && st.running > 0 {
+        return None;
+    }
+    st.entries
+        .values()
+        .filter(|e| e.state == EntryState::Queued && e.deps.is_empty())
+        .max_by_key(|e| (e.priority, std::cmp::Reverse(e.seq)))
+        .map(|e| e.seq)
+}
+
+/// Resolve `seq` (state lock held): publish the ticket result, release
+/// dependents, and fold any completed lanes in admission order.
+fn finish_entry<E>(
+    st: &mut SchedState<E>,
+    seq: u64,
+    result: Result<JobResult>,
+    fold: Option<(f64, MetricsSnapshot)>,
+) {
+    let e = st.entries.get_mut(&seq).expect("finishing a known entry");
+    e.state = EntryState::Done;
+    e.fold = fold;
+    let status = if result.is_ok() {
+        JobStatus::Completed
+    } else {
+        JobStatus::Failed
+    };
+    e.ticket.resolve(status, result);
+    release_dependents(st, seq);
+    advance_fold(st);
+}
+
+/// Cancel a queued `seq` (state lock held). Returns false when the job
+/// already started or finished. A failed upstream does not veto its
+/// dependents — they run and surface their own errors (e.g. missing
+/// input), exactly as in a serialized schedule.
+fn cancel_entry<E>(
+    st: &mut SchedState<E>,
+    seq: u64,
+    status: JobStatus,
+    err: HmrError,
+) -> bool {
+    let Some(e) = st.entries.get_mut(&seq) else {
+        return false;
+    };
+    if e.state != EntryState::Queued {
+        return false;
+    }
+    e.state = EntryState::Cancelled;
+    e.run = None;
+    e.ticket.resolve(status, Err(err));
+    release_dependents(st, seq);
+    advance_fold(st);
+    true
+}
+
+fn release_dependents<E>(st: &mut SchedState<E>, seq: u64) {
+    let dependents = std::mem::take(
+        &mut st
+            .entries
+            .get_mut(&seq)
+            .expect("releasing a known entry")
+            .dependents,
+    );
+    for d in dependents {
+        if let Some(dep) = st.entries.get_mut(&d) {
+            dep.deps.remove(&seq);
+        }
+    }
+}
+
+/// Fold completed lanes into the home cluster strictly in admission order:
+/// advance every home clock uniformly by the lane's duration (serialized
+/// jobs end clock-aligned, so this reproduces their clocks exactly) and
+/// absorb the lane's metrics. Cancelled jobs fold as zero.
+fn advance_fold<E>(st: &mut SchedState<E>) {
+    loop {
+        let Some(e) = st.entries.get_mut(&st.next_fold) else {
+            return;
+        };
+        if !e.resolved() {
+            return;
+        }
+        if let Some((dt, snap)) = e.fold.take() {
+            for node in st.home.nodes() {
+                node.clock().advance(dt);
+            }
+            st.home.metrics().absorb(&snap);
+        }
+        e.folded = true;
+        st.next_fold += 1;
+    }
+}
+
+fn worker_loop<E: LaneEngine + Send + Sync>(engine: Arc<E>, shared: Arc<Shared<E>>) {
+    loop {
+        let (seq, tjob, run) = {
+            let mut st = shared.state.lock();
+            let seq = loop {
+                if let Some(seq) = pick_ready(&st, engine.exclusive_only()) {
+                    break seq;
+                }
+                if st.stop {
+                    return;
+                }
+                shared.cv.wait(&mut st);
+            };
+            let e = st.entries.get_mut(&seq).expect("picked a known entry");
+            e.state = EntryState::Running;
+            e.ticket.set_running();
+            let run = e.run.take().expect("queued entry has its body");
+            let tjob = e.tjob;
+            st.running += 1;
+            (seq, tjob, run)
+        };
+        // Other workers dispatch freely while this lane runs.
+        let lane = engine.home().job_lane(tjob);
+        let result = match catch_unwind(AssertUnwindSafe(|| run(&engine, &lane))) {
+            Ok(r) => r,
+            Err(payload) => Err(HmrError::Io(format!(
+                "job {seq} panicked: {}",
+                panic_text(&*payload)
+            ))),
+        };
+        let fold = Some((lane.max_time(), lane.metrics().snapshot()));
+        {
+            let mut st = shared.state.lock();
+            st.running -= 1;
+            finish_entry(&mut st, seq, result, fold);
+        }
+        shared.cv.notify_all();
+    }
+}
+
+fn panic_text(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_overlap_is_prefix_based_both_ways() {
+        let a = vec![HPath::new("/data/in")];
+        let b = vec![HPath::new("/data/in/part-00000")];
+        let c = vec![HPath::new("/data/index")];
+        assert!(footprints_overlap(&a, &b));
+        assert!(footprints_overlap(&b, &a));
+        assert!(!footprints_overlap(&a, &c));
+        assert!(!footprints_overlap(&a, &[]));
+    }
+}

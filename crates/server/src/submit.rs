@@ -1,0 +1,200 @@
+//! Client handles and the submission builder.
+//!
+//! [`Client::submit`] is the redesigned client-facing API: it returns
+//! immediately with a [`JobTicket`] instead of blocking for the result.
+//! [`Client::submission`] opens a [`SubmissionBuilder`] for the knobs a
+//! plain submit doesn't need — priority, a per-client cache quota, and
+//! explicit dependencies on earlier tickets. The old blocking entry point
+//! survives as a deprecated shim ([`Client::run_job`]) that submits and
+//! waits in one call.
+
+use std::sync::{Arc, Weak};
+
+use hmr_api::conf::JobConf;
+use hmr_api::error::{HmrError, Result};
+use hmr_api::fs::HPath;
+use hmr_api::job::{JobDef, JobResult, LaneEngine};
+use simgrid::Cluster;
+
+use crate::scheduler::{admit, RunFn, Shared};
+use crate::ticket::{JobTicket, TicketInner};
+
+/// A submission handle bound to one client identity. Clone freely; hand to
+/// any thread. All clients of one server share the engine — and therefore
+/// one cache and one set of long-lived places, so jobs submitted by
+/// *different clients* still pipeline through memory.
+pub struct Client<E: LaneEngine> {
+    id: String,
+    /// Weak so outstanding clients never block `shutdown(self) -> E` from
+    /// unwrapping the engine; a dead upgrade is reported as
+    /// [`HmrError::ServerShutdown`].
+    engine: Weak<E>,
+    shared: Arc<Shared<E>>,
+    canceller: Arc<dyn Fn(u64) -> bool + Send + Sync>,
+}
+
+impl<E: LaneEngine> Clone for Client<E> {
+    fn clone(&self) -> Self {
+        Client {
+            id: self.id.clone(),
+            engine: self.engine.clone(),
+            shared: Arc::clone(&self.shared),
+            canceller: Arc::clone(&self.canceller),
+        }
+    }
+}
+
+impl<E: LaneEngine> Client<E> {
+    pub(crate) fn new(
+        id: String,
+        engine: Weak<E>,
+        shared: Arc<Shared<E>>,
+        canceller: Arc<dyn Fn(u64) -> bool + Send + Sync>,
+    ) -> Self {
+        Client {
+            id,
+            engine,
+            shared,
+            canceller,
+        }
+    }
+
+    /// This client's identity.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Submit a job asynchronously: the returned ticket can be polled,
+    /// waited on, or cancelled while the server schedules the job onto the
+    /// shared places (concurrently with other clients' independent jobs).
+    pub fn submit<J: JobDef>(&self, job: Arc<J>, conf: &JobConf) -> Result<JobTicket> {
+        self.submission().submit(job, conf)
+    }
+
+    /// Open a builder for a submission with explicit priority, cache
+    /// quota, or dependencies.
+    pub fn submission(&self) -> SubmissionBuilder<'_, E> {
+        SubmissionBuilder {
+            client: self,
+            identity: None,
+            priority: 0,
+            cache_quota: None,
+            after: Vec::new(),
+        }
+    }
+
+    /// Submit and block for the result — classic Hadoop `JobClient.runJob`
+    /// semantics, kept only as a migration shim.
+    #[deprecated(note = "use submit() and wait on the returned JobTicket")]
+    pub fn run_job<J: JobDef>(&self, job: Arc<J>, conf: &JobConf) -> Result<JobResult> {
+        self.submit(job, conf)?.wait()
+    }
+}
+
+/// Per-submission knobs: identity, priority, cache quota, dependencies.
+pub struct SubmissionBuilder<'c, E: LaneEngine> {
+    client: &'c Client<E>,
+    identity: Option<String>,
+    priority: i32,
+    cache_quota: Option<u64>,
+    after: Vec<u64>,
+}
+
+impl<E: LaneEngine> SubmissionBuilder<'_, E> {
+    /// Submit under a different client identity than the handle's.
+    pub fn client_id(mut self, client: &str) -> Self {
+        self.identity = Some(client.to_string());
+        self
+    }
+
+    /// Dispatch priority among *ready* jobs: higher runs first; ties go to
+    /// admission order. Default 0. Priority never overtakes a conflict
+    /// edge — a dependent job waits regardless.
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Cap this client's resident cache bytes (across all places). Applied
+    /// to the engine's governed cache at submit time; over-quota tenants
+    /// are evicted first (spilled, or refused under fail-fast). Engines
+    /// without a governed cache ignore it.
+    pub fn cache_quota(mut self, bytes: u64) -> Self {
+        self.cache_quota = Some(bytes);
+        self
+    }
+
+    /// Require `ticket`'s job to resolve before this one starts, even if
+    /// their footprints don't overlap (e.g. ordering side effects the
+    /// scheduler can't see).
+    pub fn after(mut self, ticket: &JobTicket) -> Self {
+        self.after.push(ticket.id());
+        self
+    }
+
+    /// Admit the job and return its ticket.
+    pub fn submit<J: JobDef>(self, job: Arc<J>, conf: &JobConf) -> Result<JobTicket> {
+        let client = self
+            .identity
+            .unwrap_or_else(|| self.client.id.clone());
+        let engine = self.client.engine.upgrade().ok_or_else(|| {
+            HmrError::ServerShutdown("the m3r server is down".to_string())
+        })?;
+
+        // Stamp the identity so engine-side cache puts are attributed to
+        // this tenant.
+        let mut conf = conf.clone();
+        conf.set_client_id(&client);
+        let footprint = footprint_of(&conf);
+
+        let mut st = self.client.shared.state.lock();
+        if !st.accepting {
+            return Err(HmrError::ServerShutdown(
+                "the m3r server is shutting down".to_string(),
+            ));
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        if let Some(q) = self.cache_quota {
+            engine.set_client_quota(&client, Some(q));
+        }
+        // Register the trace job id under the admission lock so trace ids
+        // follow seq order — the rollup is then schedule-independent.
+        let tjob = st.home.trace().register_job(&format!(
+            "{} ({})",
+            conf.job_name(),
+            engine.engine_name()
+        ));
+        let ticket = TicketInner::new(seq, client);
+        let run: RunFn<E> = Box::new(move |engine: &E, lane: &Cluster| {
+            engine.run_lane(lane, seq, job, &conf)
+        });
+        admit(
+            &mut st,
+            seq,
+            self.priority,
+            tjob,
+            footprint,
+            &self.after,
+            run,
+            Arc::clone(&ticket),
+        );
+        drop(st);
+        self.client.shared.cv.notify_all();
+        Ok(JobTicket {
+            inner: ticket,
+            canceller: Arc::clone(&self.client.canceller),
+        })
+    }
+}
+
+/// The set of paths a job touches, as visible from its configuration:
+/// inputs, the output directory, and distributed-cache files.
+fn footprint_of(conf: &JobConf) -> Vec<HPath> {
+    let mut fp = conf.input_paths();
+    if let Some(out) = conf.output_path() {
+        fp.push(out);
+    }
+    fp.extend(conf.cache_files());
+    fp
+}

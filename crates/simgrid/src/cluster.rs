@@ -230,6 +230,41 @@ impl Cluster {
         }
     }
 
+    /// An isolated *lane* for running one job concurrently with others: the
+    /// same node count and cost model, but fresh zeroed clocks and a fresh
+    /// metrics sink, with every node's trace handle pinned to `job` (see
+    /// [`Trace::for_job`]). The memory accountant is **shared** — lanes
+    /// compete for the same real memory, so budget/quota enforcement sees
+    /// the union of all lanes' live bytes.
+    ///
+    /// The multi-tenant job server runs each submission on its own lane and
+    /// afterwards folds the lane's `max_time()` and metrics back into the
+    /// home cluster in admission order, which keeps cluster totals
+    /// bit-identical to a serialized schedule.
+    pub fn job_lane(&self, job: u64) -> Cluster {
+        let trace = self.trace.for_job(job);
+        let metrics = Metrics::new();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| Node {
+                id: n.id,
+                clock: Clock::new(),
+                model: Arc::clone(&self.model),
+                metrics: metrics.clone(),
+                trace: trace.clone(),
+                scratch: false,
+            })
+            .collect();
+        Cluster {
+            nodes: Arc::new(nodes),
+            model: Arc::clone(&self.model),
+            metrics,
+            trace,
+            mem: self.mem.clone(),
+        }
+    }
+
     /// Simulate a network transfer of `bytes` from `src` to `dst`:
     /// the receiver cannot finish before the sender reached its send point,
     /// and pays latency + bandwidth. Local "transfers" (src == dst) are free
@@ -307,5 +342,25 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_node_cluster_rejected() {
         let _ = Cluster::new(0, CostModel::default());
+    }
+
+    #[test]
+    fn job_lane_isolates_clocks_and_metrics_but_shares_memory() {
+        let c = Cluster::new(2, CostModel::default());
+        c.node(0).clock().advance(7.0);
+        c.node(0).charge(Charge::DiskRead { bytes: 100 });
+        let lane = c.job_lane(3);
+        assert_eq!(lane.len(), 2);
+        assert_eq!(lane.max_time(), 0.0, "lane clocks start at zero");
+        assert_eq!(lane.metrics().disk_bytes_read(), 0, "lane metrics fresh");
+        lane.node(1).charge(Charge::DiskWrite { bytes: 50 });
+        assert_eq!(c.metrics().disk_bytes_written(), 0, "home unaffected");
+        // The accountant is the same object: lanes compete for real memory.
+        lane.mem().grow(0, crate::mem::MemClass::Cache, 512);
+        assert_eq!(c.mem().live(0), 512);
+        lane.mem().shrink(0, crate::mem::MemClass::Cache, 512);
+        // Folding is the server's job: absorb + uniform clock advance.
+        c.metrics().absorb(&lane.metrics().snapshot());
+        assert_eq!(c.metrics().disk_bytes_written(), 50);
     }
 }

@@ -190,6 +190,26 @@ impl Metrics {
         }
     }
 
+    /// Fold a snapshot's counters into this sink. The job server uses this
+    /// to merge a completed job lane's metrics back into the home cluster —
+    /// always in admission order, so totals stay deterministic.
+    pub fn absorb(&self, s: &MetricsSnapshot) {
+        let i = &*self.inner;
+        i.disk_bytes_read.fetch_add(s.disk_bytes_read, Ordering::Relaxed);
+        i.disk_bytes_written
+            .fetch_add(s.disk_bytes_written, Ordering::Relaxed);
+        i.net_bytes.fetch_add(s.net_bytes, Ordering::Relaxed);
+        i.ser_bytes.fetch_add(s.ser_bytes, Ordering::Relaxed);
+        i.deser_bytes.fetch_add(s.deser_bytes, Ordering::Relaxed);
+        i.clone_bytes.fetch_add(s.clone_bytes, Ordering::Relaxed);
+        i.allocs.fetch_add(s.allocs, Ordering::Relaxed);
+        i.records_sorted.fetch_add(s.records_sorted, Ordering::Relaxed);
+        i.task_startups.fetch_add(s.task_startups, Ordering::Relaxed);
+        i.heartbeats.fetch_add(s.heartbeats, Ordering::Relaxed);
+        i.barriers.fetch_add(s.barriers, Ordering::Relaxed);
+        i.job_submits.fetch_add(s.job_submits, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters, for diffing across job phases.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -296,6 +316,22 @@ mod tests {
         assert_eq!(d.disk_bytes_written, 32);
         assert_eq!(d.heartbeats, 1);
         assert_eq!(d.disk_bytes_read, 0);
+    }
+
+    #[test]
+    fn absorb_adds_snapshot_counters() {
+        let lane = Metrics::new();
+        lane.record(Charge::DiskRead { bytes: 64 });
+        lane.record(Charge::Barrier);
+        let home = Metrics::new();
+        home.record(Charge::DiskRead { bytes: 1 });
+        home.absorb(&lane.snapshot());
+        assert_eq!(home.disk_bytes_read(), 65);
+        assert_eq!(home.barriers(), 1);
+        // Absorbing the same snapshot twice double-counts — the caller
+        // (the job server's fold) does it exactly once per lane.
+        home.absorb(&lane.snapshot());
+        assert_eq!(home.disk_bytes_read(), 129);
     }
 
     #[test]

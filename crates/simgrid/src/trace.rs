@@ -250,6 +250,11 @@ struct TraceInner {
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     inner: Arc<TraceInner>,
+    /// When set, this handle is *pinned* to one job: spans recorded through
+    /// it always carry this id, regardless of the shared `current_job`
+    /// register. Job-lane clusters hold pinned handles so concurrent jobs
+    /// attribute their spans correctly (see `Cluster::job_lane`).
+    pin: Option<u64>,
 }
 
 thread_local! {
@@ -282,9 +287,15 @@ impl Trace {
 
     /// Register a job and make it current; subsequent spans carry the
     /// returned id. Returns 0 without recording anything when disabled.
+    /// On a pinned handle (see [`Trace::for_job`]) the pin is returned
+    /// without registering a new name — the job was already registered by
+    /// whoever pinned the handle.
     pub fn begin_job(&self, name: &str) -> u64 {
         if !self.is_enabled() {
             return 0;
+        }
+        if let Some(pin) = self.pin {
+            return pin;
         }
         let mut log = self.inner.log.lock();
         let id = log.jobs.len() as u64;
@@ -293,9 +304,34 @@ impl Trace {
         id
     }
 
-    /// The id of the most recently begun job.
+    /// Register a job name and return its id WITHOUT making it current.
+    /// The multi-tenant job server registers every submission in admission
+    /// order (keeping ids deterministic) and pins lane handles to the ids.
+    /// Returns 0 without recording anything when disabled.
+    pub fn register_job(&self, name: &str) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let mut log = self.inner.log.lock();
+        let id = log.jobs.len() as u64;
+        log.jobs.push(name.to_string());
+        id
+    }
+
+    /// A handle pinned to `job`: spans recorded through it (and through any
+    /// clone of it) always carry that id.
+    pub fn for_job(&self, job: u64) -> Trace {
+        Trace {
+            inner: Arc::clone(&self.inner),
+            pin: Some(job),
+        }
+    }
+
+    /// The id spans recorded through this handle will carry: the pin when
+    /// set, otherwise the most recently begun job.
     pub fn current_job(&self) -> u64 {
-        self.inner.current_job.load(Ordering::Relaxed)
+        self.pin
+            .unwrap_or_else(|| self.inner.current_job.load(Ordering::Relaxed))
     }
 
     /// Names of all jobs begun so far, indexed by job id.
@@ -905,6 +941,39 @@ mod tests {
         assert!(report.contains("map"));
         assert!(report.contains("reduce"));
         assert!(report.contains("per-place busy_s: p0="));
+    }
+
+    #[test]
+    fn pinned_handles_attribute_to_their_job() {
+        let c = Cluster::new(1, CostModel::default());
+        c.trace().enable();
+        let a = c.trace().register_job("job-a");
+        let b = c.trace().register_job("job-b");
+        assert_eq!(c.trace().job_names(), vec!["job-a", "job-b"]);
+        // register_job does not move the current-job register...
+        assert_eq!(c.trace().current_job(), 0);
+        // ...but a pinned handle always reports (and begins as) its pin.
+        let pinned = c.trace().for_job(b);
+        assert_eq!(pinned.current_job(), b);
+        assert_eq!(pinned.begin_job("ignored"), b, "begin_job returns the pin");
+        assert_eq!(
+            pinned.job_names().len(),
+            2,
+            "begin_job on a pinned handle registers nothing"
+        );
+        // Spans recorded via a lane (whose nodes hold pinned handles) carry
+        // the pinned id even while another job is 'current'.
+        let lane = c.job_lane(b);
+        c.trace().begin_job("job-c"); // moves the shared register
+        with_meter(Meter::new(lane.node(0).clone()), || {
+            span(Phase::Map, "map", None, || {
+                crate::meter::charge(Charge::DiskRead { bytes: 100 });
+            });
+        });
+        let spans = c.trace().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].job, b);
+        let _ = a;
     }
 
     #[test]

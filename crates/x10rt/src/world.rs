@@ -150,13 +150,20 @@ impl World {
     /// panicked, reporting the offending places.
     pub fn finish<R>(&self, body: impl FnOnce(&Finish<'_>) -> R) -> R {
         let wg = WaitGroup::new();
-        let before = self.panics.lock().len();
-        let fin = Finish { world: self, wg };
+        // Each finish tracks its own asyncs' panics. Comparing global log
+        // lengths would mis-attribute failures when several finishes run
+        // concurrently (the multi-tenant job server does exactly that).
+        let panics = Arc::new(Mutex::new(Vec::new()));
+        let fin = Finish {
+            world: self,
+            wg,
+            panics: Arc::clone(&panics),
+        };
         let r = body(&fin);
         fin.wg.wait();
-        let panics = self.panics.lock();
-        if panics.len() > before {
-            panic!("asyncs panicked under finish: {:?}", &panics[before..]);
+        let panics = panics.lock();
+        if !panics.is_empty() {
+            panic!("asyncs panicked under finish: {:?}", &panics[..]);
         }
         r
     }
@@ -196,6 +203,9 @@ impl Drop for World {
 pub struct Finish<'w> {
     world: &'w World,
     wg: WaitGroup,
+    /// Panics from asyncs spawned through *this* finish (the world's global
+    /// log additionally records them for post-mortem inspection).
+    panics: Arc<Mutex<Vec<(PlaceId, String)>>>,
 }
 
 impl Finish<'_> {
@@ -205,11 +215,14 @@ impl Finish<'_> {
     /// released, so the enclosing `finish` observes it deterministically.
     pub fn at(&self, place: PlaceId, f: impl FnOnce(&mut PlaceCtx) + Send + 'static) {
         let guard = self.wg.clone();
-        let panics = Arc::clone(&self.world.panics);
+        let global = Arc::clone(&self.world.panics);
+        let local = Arc::clone(&self.panics);
         self.world.at_async(place, move |ctx| {
             let id = ctx.id();
             if let Err(e) = catch_unwind(AssertUnwindSafe(|| f(ctx))) {
-                panics.lock().push((id, panic_text(&*e)));
+                let text = panic_text(&*e);
+                global.lock().push((id, text.clone()));
+                local.lock().push((id, text));
             }
             drop(guard);
         });
@@ -296,6 +309,32 @@ mod tests {
         assert!(log[0].1.contains("worker exploded"));
         // The world remains usable after a panic — places do not restart.
         assert_eq!(w.at_sync(1, |ctx| ctx.id()), 1);
+    }
+
+    #[test]
+    fn concurrent_finishes_attribute_panics_to_the_right_one() {
+        // Two finishes in flight (as under the multi-tenant job server):
+        // only the finish whose async panicked may fail; the innocent one
+        // must complete cleanly even though the global log grew meanwhile.
+        let w = Arc::new(World::new(2));
+        let w2 = Arc::clone(&w);
+        let clean = std::thread::spawn(move || {
+            w2.finish(|fin| {
+                for _ in 0..50 {
+                    fin.at(0, |_| {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    });
+                }
+            });
+        });
+        let guilty = catch_unwind(AssertUnwindSafe(|| {
+            w.finish(|fin| {
+                fin.at(1, |_| panic!("tenant b exploded"));
+            });
+        }));
+        assert!(guilty.is_err());
+        clean.join().expect("the innocent finish must not panic");
+        assert_eq!(w.panic_log().len(), 1, "global log still records it");
     }
 
     #[test]

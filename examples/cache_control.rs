@@ -1,5 +1,9 @@
 //! Driving the M3R cache extensions (§4.2): temporary outputs, raw-cache
-//! queries and deletes, and typed cache record readers.
+//! queries and deletes, and typed cache record readers — through the
+//! multi-tenant job server's ticket API. Both pipeline stages are
+//! submitted up front; the scheduler sees stage 2 reads stage 1's output
+//! and orders them, and `shutdown()` hands the warm engine back for cache
+//! introspection.
 //!
 //! ```sh
 //! cargo run --release --example cache_control
@@ -10,8 +14,9 @@ use std::sync::Arc;
 use hmr_api::extensions::CacheFsExt;
 use hmr_api::io::seqfile::write_seq_file;
 use hmr_api::writable::{IntWritable, Text};
-use hmr_api::{Engine, FileSystem, HPath, JobConf};
+use hmr_api::{FileSystem, HPath, JobConf};
 use m3r::RepartitionJob;
+use m3r_server::M3RServer;
 use simdfs::SimDfs;
 use simgrid::{Cluster, CostModel};
 
@@ -23,7 +28,11 @@ fn main() {
         .collect();
     write_seq_file(&dfs, &HPath::new("/in/part-00000"), &records).unwrap();
 
-    let mut engine = m3r::M3REngine::new(cluster, Arc::new(dfs.clone()));
+    let server = M3RServer::start(m3r::M3REngine::new(cluster, Arc::new(dfs.clone())));
+    let client = server.client_as("pipeline");
+    let job = Arc::new(RepartitionJob::<IntWritable, Text>::new(|| {
+        Box::new(hmr_api::partition::HashPartitioner)
+    }));
 
     // A job whose output directory name starts with the temp prefix is
     // cached but never written to the DFS (§4.2.3).
@@ -31,11 +40,30 @@ fn main() {
     conf.add_input_path(&HPath::new("/in"));
     conf.set_output_path(&HPath::new("/pipeline/temp_stage1"));
     conf.set_num_reduce_tasks(4);
-    let job = Arc::new(RepartitionJob::<IntWritable, Text>::new(|| {
-        Box::new(hmr_api::partition::HashPartitioner)
-    }));
-    engine.run_job(Arc::clone(&job), &conf).unwrap();
 
+    // Stage 2 consumes the temp output, materializing to the DFS. Submit
+    // both immediately: stage 2's input is stage 1's output, so the
+    // conflict DAG holds it until stage 1 resolves.
+    let mut conf2 = JobConf::new();
+    conf2.add_input_path(&HPath::new("/pipeline/temp_stage1"));
+    conf2.set_output_path(&HPath::new("/pipeline/final"));
+    conf2.set_num_reduce_tasks(4);
+
+    let t1 = client.submit(Arc::clone(&job), &conf).unwrap();
+    let t2 = client.submit(job, &conf2).unwrap();
+    println!("submitted stage 1 (job {}) and stage 2 (job {})", t1.id(), t2.id());
+    t1.wait().unwrap();
+
+    let r2 = t2.wait().unwrap();
+    println!(
+        "stage 2: {} cache-hit records, {} bytes read from the DFS",
+        r2.counters
+            .task(hmr_api::counters::task_counter::CACHE_HIT_RECORDS),
+        r2.metrics.disk_bytes_read
+    );
+
+    // Shutdown returns the warm engine — cache intact — for inspection.
+    let engine = server.shutdown();
     let fs = Arc::clone(engine.caching_fs());
     println!("temp output on DFS?        {}", dfs.exists(&HPath::new("/pipeline/temp_stage1")));
     println!("temp output in cache?      {}", fs.is_cached(&HPath::new("/pipeline/temp_stage1/part-00000")));
@@ -56,19 +84,6 @@ fn main() {
         n += 1;
     }
     println!("typed cache reader yielded {n} records");
-
-    // Consume the temp output in a second job, materializing to the DFS.
-    let mut conf2 = JobConf::new();
-    conf2.add_input_path(&HPath::new("/pipeline/temp_stage1"));
-    conf2.set_output_path(&HPath::new("/pipeline/final"));
-    conf2.set_num_reduce_tasks(4);
-    let r2 = engine.run_job(job, &conf2).unwrap();
-    println!(
-        "stage 2: {} cache-hit records, {} bytes read from the DFS",
-        r2.counters
-            .task(hmr_api::counters::task_counter::CACHE_HIT_RECORDS),
-        r2.metrics.disk_bytes_read
-    );
 
     // §4.2.3: delete from the cache only — the DFS copy survives.
     raw.delete(&HPath::new("/pipeline/final"), true).unwrap();
