@@ -7,8 +7,10 @@
 //!   lane per place, one slice per map/shuffle/sort/reduce/barrier span,
 //!   in simulated microseconds;
 //! * `bench-results/report-<workload>-<engine>.txt` — the per-job,
-//!   per-phase text rollup, plus the buffer-pool hit rate (pool traffic is
-//!   deliberately outside `MetricsSnapshot`; see `simgrid::metrics`).
+//!   per-phase text rollup, plus the memory accountant section: per-place
+//!   live bytes, combine-table high watermark, cache and buffer-pool hit
+//!   rates (pool traffic is deliberately outside `MetricsSnapshot`; see
+//!   `simgrid::metrics`).
 //!
 //! The workloads are the figure harnesses at CI-friendly sizes; the traced
 //! run is bit-identical to an untraced one (asserted by
@@ -54,18 +56,9 @@ fn export(workload: &str, engine: &str, cluster: &Cluster) {
         write_bench_file(&format!("trace-{workload}-{engine}.json"), &trace.chrome_json())
             .expect("write chrome trace");
 
-    let m = cluster.metrics();
-    let (hits, misses) = (m.pool_hits(), m.pool_misses());
-    let requests = hits + misses;
-    let hit_rate = if requests == 0 {
-        0.0
-    } else {
-        100.0 * hits as f64 / requests as f64
-    };
+    // Pool hit/miss and the combine-table high watermark ride along in
+    // the accountant section (`MemAccountant::report_section`).
     let mut report = trace.report();
-    report.push_str(&format!(
-        "\nbuffer pool: hits={hits} misses={misses} hit_rate={hit_rate:.1}%\n"
-    ));
     report.push('\n');
     report.push_str(&cluster.mem().report_section());
     let txt_path = write_bench_file(&format!("report-{workload}-{engine}.txt"), &report)

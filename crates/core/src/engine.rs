@@ -44,7 +44,7 @@ use x10rt::World;
 
 use crate::cache::{CachedSeq, KvCache};
 use crate::cachefs::CachingFs;
-use crate::shuffle::{decode_stream, MapOutputBuffer, ShuffleStream};
+use crate::shuffle::{decode_stream, CombineTable, MapOutputBuffer, ShuffleStream};
 use crate::stability::PlaceMap;
 
 /// The M3R counter group for engine-specific statistics.
@@ -86,6 +86,16 @@ pub struct M3ROptions {
     /// finite budget makes the cache evict-and-spill (or fail fast) as
     /// configured. `None` is the ungoverned pre-subsystem baseline.
     pub memory: Option<MemoryOptions>,
+    /// Opt-in place-level shared combining (ROADMAP item 3): merge equal
+    /// keys across all map tasks of the place through the job's combiner
+    /// *before* shuffle-stream serialization, via a per-destination
+    /// [`crate::shuffle::CombineTable`]. Requires an associative and
+    /// commutative combiner (see `hmr_api::conf::PLACE_COMBINE`, which can
+    /// also enable this per job); jobs without a combiner are unaffected.
+    /// Off (the default) is bit-identical to pre-combine behaviour; on, a
+    /// run is bit-identical serial vs parallel, and under a finite budget
+    /// an over-budget table drains early and degrades to plain streaming.
+    pub place_combine: bool,
 }
 
 /// How the governed cache behaves under a per-place memory budget. The
@@ -113,6 +123,7 @@ impl Default for M3ROptions {
             real_parallelism: true,
             buffer_pool: true,
             memory: Some(MemoryOptions::default()),
+            place_combine: false,
         }
     }
 }
@@ -639,6 +650,20 @@ fn map_phase_at_place<J: JobDef>(
     // Locally shuffled pairs accumulate here in task order and are
     // published to `shared` once, after the last wave.
     let mut local_acc: HashMap<usize, Vec<(Arc<J::K2>, Arc<J::V2>)>> = HashMap::new();
+    // Place-level shared combining (ROADMAP item 3): when enabled and the
+    // job has a combiner, remote buckets are absorbed into one
+    // `CombineTable` per destination instead of serializing immediately;
+    // equal keys merge across every map task at this place and the tables
+    // drain into the streams once — after the last wave, or early if a
+    // finite budget is breached (degrading to plain streaming).
+    let mut combine_tables: Option<Vec<CombineTable<J::K2, J::V2>>> =
+        ((opts.place_combine || conf.place_level_combine())
+            && num_reducers > 0
+            && job.create_combiner(conf).is_some())
+        .then(|| (0..nplaces).map(|_| CombineTable::new()).collect());
+    // (input records, output records) that went through the place combiner.
+    let mut place_combined = (0u64, 0u64);
+    let mut combine_counters = Counters::new();
 
     for wave in my_splits.chunks(opts.worker_threads) {
         // Scratch clocks start at zero; spans recorded during the wave are
@@ -674,34 +699,77 @@ fn map_phase_at_place<J: JobDef>(
             let scratch = &scratches[i];
             cluster.trace().record_rebased(tjob, place, wave_base, task_spans);
             let routed = result?;
-            simgrid::with_meter(Meter::new(scratch.clone()), || {
-                trace::span(Phase::Shuffle, "serialize", Some(si as u64), || {
-                    for (dest, p, bucket) in &routed.remote {
-                        let stream = streams[*dest].get_or_insert_with(|| {
-                            if opts.buffer_pool {
-                                ShuffleStream::with_buffer(pool.get_any(1024), opts.dedup)
-                            } else {
-                                ShuffleStream::new(opts.dedup)
+            simgrid::with_meter(Meter::new(scratch.clone()), || -> Result<()> {
+                if let Some(tables) = combine_tables.as_mut() {
+                    // Absorb instead of serializing: equal keys merge across
+                    // tasks, and only the (cheaper) key encoding is billed
+                    // now — the combined output serializes at drain time.
+                    trace::span(Phase::Combine, "absorb", Some(si as u64), || {
+                        for (dest, p, bucket) in &routed.remote {
+                            let mut grew = 0u64;
+                            let mut key_bytes = 0u64;
+                            for (k, v) in bucket {
+                                let (g, kb) = tables[*dest].absorb(*p, k, v);
+                                grew += g;
+                                key_bytes += kb;
                             }
-                        });
-                        // Reserve from `serialized_size` hints (plus framing)
-                        // so the bucket appends without re-growing mid-push.
-                        let hint: usize = bucket
-                            .iter()
-                            .map(|(k, v)| k.serialized_size() + v.serialized_size() + 16)
-                            .sum();
-                        stream.reserve(hint);
-                        let before = stream.len();
-                        for (k, v) in bucket {
-                            stream.push(*p, k, v);
+                            cluster
+                                .mem()
+                                .grow(place, simgrid::MemClass::Combine, grew);
+                            simgrid::meter::charge(Charge::Serialize { bytes: key_bytes });
                         }
-                        simgrid::meter::charge(Charge::Serialize {
-                            bytes: (stream.len() - before) as u64,
-                        });
-                        *stream_counts[*dest].entry(*p).or_insert(0) += bucket.len() as u64;
+                    });
+                } else {
+                    trace::span(Phase::Shuffle, "serialize", Some(si as u64), || {
+                        for (dest, p, bucket) in &routed.remote {
+                            let stream = streams[*dest].get_or_insert_with(|| {
+                                if opts.buffer_pool {
+                                    ShuffleStream::with_buffer(pool.get_any(1024), opts.dedup)
+                                } else {
+                                    ShuffleStream::new(opts.dedup)
+                                }
+                            });
+                            // Reserve from `serialized_size` hints (plus framing)
+                            // so the bucket appends without re-growing mid-push.
+                            let hint: usize = bucket
+                                .iter()
+                                .map(|(k, v)| k.serialized_size() + v.serialized_size() + 16)
+                                .sum();
+                            stream.reserve(hint);
+                            let before = stream.len();
+                            for (k, v) in bucket {
+                                stream.push(*p, k, v);
+                            }
+                            simgrid::meter::charge(Charge::Serialize {
+                                bytes: (stream.len() - before) as u64,
+                            });
+                            *stream_counts[*dest].entry(*p).or_insert(0) +=
+                                bucket.len() as u64;
+                        }
+                    });
+                }
+                // Governor interaction: if absorbing pushed this place over
+                // its budget, combine what is held now and degrade to plain
+                // streaming for the rest of the map phase. Deterministic —
+                // finite-budget waves always run sequentially, so the flush
+                // point depends only on task order. The flush bills the
+                // current task's scratch clock.
+                if combine_tables.is_some() {
+                    if let Some(budget) = cluster.mem().budget() {
+                        if cluster.mem().live(place) > budget {
+                            let tables = combine_tables.take().expect("checked above");
+                            let (ins, outs, cc) = drain_combine_tables(
+                                tables, &mut streams, &mut stream_counts, job, conf,
+                                dist_cache, place, cluster, opts, pool,
+                            )?;
+                            place_combined.0 += ins;
+                            place_combined.1 += outs;
+                            combine_counters.merge(&cc);
+                        }
                     }
-                })
-            });
+                }
+                Ok(())
+            })?;
             cluster
                 .trace()
                 .record_rebased(tjob, place, wave_base, trace::take_pending());
@@ -711,6 +779,21 @@ fn map_phase_at_place<J: JobDef>(
         }
         node.clock()
             .advance(simgrid::pool::wave_duration(&scratches));
+    }
+
+    // Drain the (never-overflowed) combine tables into the streams on the
+    // place thread: combiner work and the one serialization pass are billed
+    // straight to the place clock, like reduce-side ingest.
+    if let Some(tables) = combine_tables.take() {
+        let (ins, outs, cc) = simgrid::with_meter(Meter::new(node.clone()), || {
+            drain_combine_tables(
+                tables, &mut streams, &mut stream_counts, job, conf, dist_cache, place,
+                cluster, opts, pool,
+            )
+        })?;
+        place_combined.0 += ins;
+        place_combined.1 += outs;
+        combine_counters.merge(&cc);
     }
 
     if !local_acc.is_empty() {
@@ -749,13 +832,106 @@ fn map_phase_at_place<J: JobDef>(
             *shared.streams[dest][place].lock() = Some(StreamPayload { bytes, counts });
         }
     }
-    if any_stream {
+    if any_stream || place_combined.0 > 0 {
         let mut counters = shared.counters.lock();
         counters.incr(M3R_COUNTER_GROUP, "SHUFFLE_STREAM_BYTES", stream_bytes);
         counters.incr(M3R_COUNTER_GROUP, "DEDUP_HITS", dedup_hits);
         counters.incr(M3R_COUNTER_GROUP, "DEDUP_RETAINED_VALUES", dedup_retained);
+        if place_combined.0 > 0 {
+            counters.incr(
+                M3R_COUNTER_GROUP,
+                "PLACE_COMBINE_INPUT_RECORDS",
+                place_combined.0 as i64,
+            );
+            counters.incr(
+                M3R_COUNTER_GROUP,
+                "PLACE_COMBINE_OUTPUT_RECORDS",
+                place_combined.1 as i64,
+            );
+            counters.merge(&combine_counters);
+        }
     }
     Ok(())
+}
+
+/// Combine-and-serialize the place's combine tables into the shuffle
+/// streams: for every `(partition, key)` group — partition-ascending,
+/// key-bytes-ascending, values in task order — run the job's combiner, then
+/// push the combined pairs. Grouping is billed as sort work over the
+/// absorbed records and the combined output as serialize work, on whatever
+/// meter is installed (a task scratch clock for a budget flush, the place
+/// clock for the end-of-map drain). Returns `(absorbed records, emitted
+/// records, combiner counters)`.
+#[allow(clippy::too_many_arguments)]
+fn drain_combine_tables<J: JobDef>(
+    mut tables: Vec<CombineTable<J::K2, J::V2>>,
+    streams: &mut [Option<ShuffleStream>],
+    stream_counts: &mut [HashMap<usize, u64>],
+    job: &Arc<J>,
+    conf: &Arc<JobConf>,
+    dist_cache: &Arc<DistCache>,
+    place: usize,
+    cluster: &Cluster,
+    opts: &M3ROptions,
+    pool: &Arc<BufPool>,
+) -> Result<(u64, u64, Counters)> {
+    let mut combiner = job
+        .create_combiner(conf)
+        .expect("combine tables only exist for jobs with a combiner");
+    let mut ctx = TaskContext::new(
+        format!("m3r_pc_{place:06}"),
+        Arc::clone(conf),
+        Arc::clone(dist_cache),
+    );
+    let mut absorbed = 0u64;
+    let mut emitted = 0u64;
+    trace::span(Phase::Combine, "drain", None, || -> Result<()> {
+        for (dest, table) in tables.iter_mut().enumerate() {
+            if table.is_empty() {
+                continue;
+            }
+            let table_bytes = table.bytes();
+            let records = table.records();
+            absorbed += records;
+            // Grouping happened incrementally at absorb time (the BTreeMap
+            // insert, billed per key there); the drain is one ordered walk,
+            // so only the emitted groups pay a sort-pass record each. This
+            // is what makes place combining a net win in `records_sorted`:
+            // the reducers re-sort far fewer records than the mappers fed
+            // into the tables.
+            simgrid::meter::charge(Charge::Sort {
+                records: table.groups() as u64,
+            });
+            let stream = streams[dest].get_or_insert_with(|| {
+                if opts.buffer_pool {
+                    ShuffleStream::with_buffer(pool.get_any(1024), opts.dedup)
+                } else {
+                    ShuffleStream::new(opts.dedup)
+                }
+            });
+            stream.reserve(table_bytes as usize);
+            let before = stream.len();
+            for (p, key, values) in table.drain() {
+                let mut out: hmr_api::collect::VecCollector<J::K2, J::V2> =
+                    hmr_api::collect::VecCollector::new();
+                let mut vals = values.iter().map(Arc::clone);
+                combiner.reduce(key, &mut vals, &mut out, &mut ctx)?;
+                for (k, v) in &out.pairs {
+                    stream.push(p, k, v);
+                }
+                *stream_counts[dest].entry(p).or_insert(0) += out.pairs.len() as u64;
+                emitted += out.pairs.len() as u64;
+            }
+            simgrid::meter::charge(Charge::Serialize {
+                bytes: (stream.len() - before) as u64,
+            });
+            cluster
+                .mem()
+                .shrink(place, simgrid::MemClass::Combine, table_bytes);
+        }
+        Ok(())
+    })?;
+    Ok((absorbed, emitted, ctx.into_counters()))
 }
 
 /// One map task: cache-aware input, real mapper, optional combiner, then

@@ -10,6 +10,7 @@
 //!   (§3.2.2.3) into one stream per (source place, destination place) and
 //!   moved over the network after the map barrier.
 
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -230,6 +231,116 @@ where
     }
 }
 
+/// Modelled heap overhead per distinct key admitted to a combine table
+/// (map node + key `Arc` bookkeeping), in bytes.
+const COMBINE_ENTRY_OVERHEAD: u64 = 48;
+/// Modelled heap overhead per absorbed value (one `Arc` slot), in bytes.
+const COMBINE_VALUE_OVERHEAD: u64 = 8;
+
+/// A place-level shared combine table (ROADMAP item 3, after the in-node
+/// combiners line of work): one table per *destination* place, fed by every
+/// map task of the source place, merging equal keys **across tasks** before
+/// the shuffle stream serializes anything. Where per-mapper combining only
+/// collapses duplicates within one task's output, this collapses them
+/// across the whole map wave — on skewed keys that is where most of the
+/// remaining shuffle volume lives.
+///
+/// Determinism contract: entries are keyed by `(partition, serialized key
+/// bytes)` in a `BTreeMap`, so the drain order is partition-ascending then
+/// key-bytes-ascending regardless of absorption interleaving; values within
+/// one key group stay in arrival order, which the engine guarantees is task
+/// order (buckets are absorbed on the place thread in task order). Equal
+/// keys therefore tie-break on task order, and the job's combiner must be
+/// associative + commutative (see `hmr_api::conf::PLACE_COMBINE`).
+pub struct CombineTable<K, V> {
+    entries: BTreeMap<(usize, Vec<u8>), (Arc<K>, Vec<Arc<V>>)>,
+    bytes: u64,
+    records: u64,
+}
+
+impl<K, V> Default for CombineTable<K, V>
+where
+    K: Writable,
+    V: Writable,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> CombineTable<K, V>
+where
+    K: Writable,
+    V: Writable,
+{
+    /// An empty table.
+    pub fn new() -> Self {
+        CombineTable {
+            entries: BTreeMap::new(),
+            bytes: 0,
+            records: 0,
+        }
+    }
+
+    /// True when nothing has been absorbed since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Distinct `(partition, key)` groups currently held.
+    pub fn groups(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Records absorbed since the last drain.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Approximate live bytes held (serialized key + value sizes plus
+    /// modelled per-entry overhead) — what the memory accountant should
+    /// carry under `MemClass::Combine`.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Absorb one `(partition, key, value)` record, merging it into the
+    /// group of any previously absorbed equal key. Returns `(grew_bytes,
+    /// key_bytes)`: how many accountable bytes the table grew by, and the
+    /// encoded key length (the serialization work the caller should bill
+    /// for admission).
+    pub fn absorb(&mut self, partition: usize, key: &Arc<K>, value: &Arc<V>) -> (u64, u64) {
+        let mut kbytes = Vec::with_capacity(key.serialized_size());
+        key.write_to(&mut kbytes);
+        let klen = kbytes.len() as u64;
+        let vlen = value.serialized_size() as u64;
+        let grew = match self.entries.entry((partition, kbytes)) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().1.push(Arc::clone(value));
+                vlen + COMBINE_VALUE_OVERHEAD
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((Arc::clone(key), vec![Arc::clone(value)]));
+                klen + COMBINE_ENTRY_OVERHEAD + vlen + COMBINE_VALUE_OVERHEAD
+            }
+        };
+        self.bytes += grew;
+        self.records += 1;
+        (grew, klen)
+    }
+
+    /// Drain every group in deterministic order — partition ascending, then
+    /// serialized key bytes ascending; each group's values in arrival (task)
+    /// order — resetting the table to empty.
+    pub fn drain(&mut self) -> impl Iterator<Item = (usize, Arc<K>, Vec<Arc<V>>)> {
+        self.bytes = 0;
+        self.records = 0;
+        std::mem::take(&mut self.entries)
+            .into_iter()
+            .map(|((p, _), (k, vs))| (p, k, vs))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +461,48 @@ mod tests {
         let res: Result<Vec<_>> =
             decode_stream::<IntWritable, BytesWritable>(bytes).collect();
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn combine_table_merges_and_drains_deterministically() {
+        let mut t: CombineTable<IntWritable, IntWritable> = CombineTable::new();
+        // Absorb in a scrambled order; equal keys across "tasks" merge.
+        t.absorb(1, &Arc::new(IntWritable(9)), &Arc::new(IntWritable(100)));
+        t.absorb(0, &Arc::new(IntWritable(4)), &Arc::new(IntWritable(1)));
+        t.absorb(1, &Arc::new(IntWritable(9)), &Arc::new(IntWritable(200)));
+        t.absorb(0, &Arc::new(IntWritable(2)), &Arc::new(IntWritable(7)));
+        t.absorb(0, &Arc::new(IntWritable(4)), &Arc::new(IntWritable(2)));
+        assert_eq!(t.records(), 5);
+        assert_eq!(t.groups(), 3);
+        let drained: Vec<_> = t
+            .drain()
+            .map(|(p, k, vs)| (p, k.0, vs.iter().map(|v| v.0).collect::<Vec<_>>()))
+            .collect();
+        // Partition-ascending, then key-bytes-ascending; values in arrival
+        // (task) order within each group.
+        assert_eq!(
+            drained,
+            vec![
+                (0, 2, vec![7]),
+                (0, 4, vec![1, 2]),
+                (1, 9, vec![100, 200]),
+            ]
+        );
+        assert!(t.is_empty(), "drain resets the table");
+        assert_eq!(t.bytes(), 0);
+        assert_eq!(t.records(), 0);
+    }
+
+    #[test]
+    fn combine_table_byte_accounting_grows_per_absorb() {
+        let mut t: CombineTable<IntWritable, BytesWritable> = CombineTable::new();
+        let k = Arc::new(IntWritable(1));
+        let (g1, klen) = t.absorb(0, &k, &Arc::new(BytesWritable(vec![0u8; 10])));
+        assert_eq!(klen, k.serialized_size() as u64);
+        assert!(g1 > 10, "first absorb pays key + entry overhead");
+        let (g2, _) = t.absorb(0, &k, &Arc::new(BytesWritable(vec![0u8; 10])));
+        assert!(g2 < g1, "merging into an existing group is cheaper");
+        assert_eq!(t.bytes(), g1 + g2);
     }
 
     #[test]

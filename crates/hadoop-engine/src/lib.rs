@@ -29,8 +29,8 @@ pub mod sortbuffer;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bytes::Bytes;
-use hmr_api::collect::{MapCollector, OutputCollector};
+use bytes::{Bytes, BytesMut};
+use hmr_api::collect::{MapCollector, OutputCollector, VecCollector};
 use hmr_api::conf::JobConf;
 use hmr_api::counters::{task_counter, Counters, TaskContext};
 use hmr_api::distcache::DistCache;
@@ -43,7 +43,10 @@ use simgrid::cost::Charge;
 use simgrid::trace::{self, Phase};
 use simgrid::{BufPool, Cluster, Meter, NodeId};
 
-use sortbuffer::{decode_segment, SortBuffer};
+use sortbuffer::{decode_segment, frame_record, SortBuffer};
+
+/// Counter group for Hadoop-engine statistics (mirrors the `m3r` group).
+pub const HADOOP_COUNTER_GROUP: &str = "hadoop";
 
 /// Tuning knobs of the simulated Hadoop installation.
 #[derive(Clone, Debug)]
@@ -68,6 +71,15 @@ pub struct EngineOptions {
     /// reclaim them after the job. Wall-clock only: segment bytes, charges
     /// and outputs are bit-identical with the pool off.
     pub buffer_pool: bool,
+    /// Opt-in node-level shared combining (the Hadoop-engine analogue of
+    /// M3R's place-level combine): after each map wave, the wave's
+    /// per-partition segments are decoded, merged through the job's
+    /// combiner and re-framed into one segment, shrinking what reducers
+    /// fetch. Requires an associative and commutative combiner (see
+    /// `hmr_api::conf::PLACE_COMBINE`, which can also enable this per
+    /// job); jobs without a combiner are unaffected. Off (the default) is
+    /// bit-identical to pre-combine behaviour.
+    pub node_combine: bool,
 }
 
 impl Default for EngineOptions {
@@ -79,6 +91,7 @@ impl Default for EngineOptions {
             max_task_attempts: 4,
             real_parallelism: true,
             buffer_pool: true,
+            node_combine: false,
         }
     }
 }
@@ -295,6 +308,12 @@ impl HadoopEngine {
         let mut counters = Counters::new();
         let mut map_outputs: Vec<Vec<Bytes>> = (0..splits.len()).map(|_| Vec::new()).collect();
         let mut output_records = 0u64;
+        // Node-level shared combine (M3R's place-level combine, ROADMAP
+        // item 3): only meaningful with reducers to shuffle to and a
+        // combiner to merge with.
+        let node_combine = (self.opts.node_combine || conf.place_level_combine())
+            && num_reducers > 0
+            && job.create_combiner(&conf).is_some();
 
         for (node_id, tasks) in per_node.iter().enumerate() {
             let node = cluster.node(node_id);
@@ -358,8 +377,32 @@ impl HadoopEngine {
                 }
                 node.clock()
                     .advance(simgrid::pool::wave_duration(&scratches));
+                if node_combine {
+                    let wave_counters = combine_wave_segments(
+                        &*job,
+                        &conf,
+                        &cluster,
+                        node_id,
+                        wave,
+                        &mut map_outputs,
+                        num_reducers,
+                        self.opts.buffer_pool.then(|| &*self.pools[node_id]),
+                        &dist_cache,
+                    )?;
+                    counters.merge(&wave_counters);
+                }
             }
         }
+
+        // What the reducers will actually fetch — the engine's shuffle
+        // volume after any node-level combining. Recorded unconditionally
+        // so combine-on/off benches compare like for like.
+        let seg_bytes_total: i64 = map_outputs
+            .iter()
+            .flat_map(|segs| segs.iter())
+            .map(|s| s.len() as i64)
+            .sum();
+        counters.incr(HADOOP_COUNTER_GROUP, "SHUFFLE_SEGMENT_BYTES", seg_bytes_total);
 
         // ---- reduce phase ---------------------------------------------------
         if num_reducers > 0 {
@@ -484,6 +527,129 @@ fn retry_attempts<T>(
         }
     }
     Err(last_err.expect("at least one attempt ran"))
+}
+
+/// Node-level shared combine — the Hadoop-engine analogue of M3R's
+/// place-level combine table. After a map wave's barrier, each partition's
+/// per-task segments are decoded in task order, sorted, merged through the
+/// job's combiner, and re-framed into a single segment parked under the
+/// wave's first contributing task (the others keep an empty segment, which
+/// the reduce fetch already skips). Runs on the tasktracker's driver
+/// thread in deterministic partition/task order, billed to the node clock
+/// under a [`Phase::Combine`] span. A partition whose decoded working set
+/// would breach the memory budget is left untouched: the job degrades to
+/// plain per-task streaming without changing outputs.
+#[allow(clippy::too_many_arguments)]
+fn combine_wave_segments<J: JobDef>(
+    job: &J,
+    conf: &Arc<JobConf>,
+    cluster: &Cluster,
+    node_id: NodeId,
+    wave: &[usize],
+    map_outputs: &mut [Vec<Bytes>],
+    num_reducers: usize,
+    pool: Option<&BufPool>,
+    dist_cache: &Arc<DistCache>,
+) -> Result<Counters> {
+    let node = cluster.node(node_id);
+    let mut combiner = job
+        .create_combiner(conf)
+        .expect("combine_wave_segments requires a combiner");
+    let mut ctx = TaskContext::new(
+        format!("combine_n_{node_id:06}"),
+        Arc::clone(conf),
+        Arc::clone(dist_cache),
+    );
+    let sort_cmp = job.sort_comparator();
+    let group_cmp = job.grouping_comparator();
+    simgrid::with_meter(Meter::new(node.clone()), || {
+        trace::span(Phase::Combine, "wave", None, || -> Result<()> {
+            for partition in 0..num_reducers {
+                let contributing: Vec<usize> = wave
+                    .iter()
+                    .copied()
+                    .filter(|&t| map_outputs[t].get(partition).is_some_and(|s| !s.is_empty()))
+                    .collect();
+                // Nothing merges across fewer than two segments.
+                if contributing.len() < 2 {
+                    continue;
+                }
+                let in_bytes: u64 = contributing
+                    .iter()
+                    .map(|&t| map_outputs[t][partition].len() as u64)
+                    .sum();
+                // Governor interaction: the decoded working set is combine
+                // memory. If it would not fit the budget, skip this
+                // partition — reducers fetch the per-task segments as usual.
+                if let Some(budget) = cluster.mem().budget() {
+                    if cluster.mem().live(node_id) + in_bytes > budget {
+                        continue;
+                    }
+                }
+                cluster
+                    .mem()
+                    .grow(node_id, simgrid::MemClass::Combine, in_bytes);
+                let mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)> = Vec::new();
+                for &t in &contributing {
+                    pairs.extend(decode_segment::<J::K2, J::V2>(&map_outputs[t][partition])?);
+                }
+                simgrid::meter::charge(Charge::Deserialize { bytes: in_bytes });
+                hmr_api::comparator::sort_pairs_by(&mut pairs, &sort_cmp);
+                ctx.incr_task_counter(task_counter::COMBINE_INPUT_RECORDS, pairs.len() as i64);
+                let mut out: VecCollector<J::K2, J::V2> = VecCollector::new();
+                for span in hmr_api::comparator::group_spans(&pairs, &group_cmp) {
+                    let key = Arc::clone(&pairs[span.start].0);
+                    let mut values = pairs[span.clone()].iter().map(|(_, v)| Arc::clone(v));
+                    combiner.reduce(key, &mut values, &mut out, &mut ctx)?;
+                }
+                ctx.incr_task_counter(
+                    task_counter::COMBINE_OUTPUT_RECORDS,
+                    out.pairs.len() as i64,
+                );
+                // The inputs are the wave tasks' already-sorted segments, so
+                // this is a k-way merge, not a fresh sort: bill one sort-pass
+                // record per emitted group (the merge's output walk). That
+                // keeps `records_sorted` a net win — reducers re-merge far
+                // fewer records than the wave produced.
+                simgrid::meter::charge(Charge::Sort {
+                    records: out.pairs.len() as u64,
+                });
+                let mut buf = match pool {
+                    Some(p) => p.get_any(in_bytes as usize),
+                    None => BytesMut::with_capacity(in_bytes as usize),
+                };
+                let (mut kbuf, mut vbuf) = (Vec::new(), Vec::new());
+                for (k, v) in &out.pairs {
+                    kbuf.clear();
+                    vbuf.clear();
+                    k.write_to(&mut kbuf);
+                    v.write_to(&mut vbuf);
+                    frame_record(&mut buf, &kbuf, &vbuf);
+                }
+                let seg = buf.freeze();
+                simgrid::meter::charge(Charge::Serialize {
+                    bytes: seg.len() as u64,
+                });
+                // Swap the wave's segments for the combined one; shuffle
+                // accounting follows the parked bytes.
+                cluster
+                    .mem()
+                    .shrink(node_id, simgrid::MemClass::Shuffle, in_bytes);
+                cluster
+                    .mem()
+                    .grow(node_id, simgrid::MemClass::Shuffle, seg.len() as u64);
+                for &t in &contributing {
+                    map_outputs[t][partition] = Bytes::new();
+                }
+                map_outputs[contributing[0]][partition] = seg;
+                cluster
+                    .mem()
+                    .shrink(node_id, simgrid::MemClass::Combine, in_bytes);
+            }
+            Ok(())
+        })
+    })?;
+    Ok(ctx.into_counters())
 }
 
 /// One map task attempt: fresh JVM, split read, real mapper execution,
@@ -775,6 +941,7 @@ mod tests {
                 max_task_attempts: 4,
                 real_parallelism: true,
                 buffer_pool: true,
+                node_combine: false,
             },
         );
         (engine, fs)
@@ -856,6 +1023,44 @@ mod tests {
             "combiner reduces shuffled records"
         );
         assert!(with.counters.task(task_counter::COMBINE_INPUT_RECORDS) > 0);
+    }
+
+    #[test]
+    fn node_combine_shrinks_segments_but_not_answers() {
+        // One split per file: four files give each node a multi-task wave,
+        // which is what node-level combining merges across.
+        let text = "a b a b a b c\n".repeat(50);
+        let (mut engine, fs) = setup(2);
+        for i in 0..4 {
+            hmr_api::fs::write_file(&fs, &HPath::new(format!("/in/t{i}.txt")), text.as_bytes())
+                .unwrap();
+        }
+        // Baseline: per-mapper combiner only.
+        let off = engine
+            .run_job(Arc::new(WordCount { with_combiner: true }), &wc_conf(2))
+            .unwrap();
+        let counts_off = load_counts(&fs, "/out", 2);
+        fs.delete(&HPath::new("/out"), true).unwrap();
+        // Same job opted into node-level combining via the conf knob.
+        let mut conf = wc_conf(2);
+        conf.set_place_level_combine(true);
+        let on = engine
+            .run_job(Arc::new(WordCount { with_combiner: true }), &conf)
+            .unwrap();
+        let counts_on = load_counts(&fs, "/out", 2);
+        assert_eq!(counts_off, counts_on, "node combine must not change results");
+        let seg = |r: &JobResult| r.counters.get(HADOOP_COUNTER_GROUP, "SHUFFLE_SEGMENT_BYTES");
+        assert!(
+            seg(&on) < seg(&off),
+            "wave combine parks fewer segment bytes: {} vs {}",
+            seg(&on),
+            seg(&off)
+        );
+        assert!(
+            on.counters.task(task_counter::REDUCE_INPUT_RECORDS)
+                < off.counters.task(task_counter::REDUCE_INPUT_RECORDS),
+            "reducers fetch fewer records with wave combining on"
+        );
     }
 
     #[test]

@@ -33,6 +33,20 @@ pub const USE_HADOOP: &str = "m3r.use.hadoop.engine";
 /// this job. Stamped by the job server's `SubmissionBuilder`; the engine
 /// uses it to attribute cache residency to tenants for quota enforcement.
 pub const CLIENT_ID: &str = "m3r.client.id";
+/// M3R extension (ROADMAP item 3): when `true`, engines run an opt-in
+/// place-level (M3R) / node-level (Hadoop engine) shared combine stage that
+/// merges equal keys *across all map tasks of a wave* through the job's
+/// combiner before shuffle serialization.
+///
+/// **Combiner contract:** enabling this requires the job's combiner to be
+/// **associative and commutative** (and to act as identity on single-value
+/// groups, like `LongSumReducer`). Per-mapper combining already reorders
+/// value application within one task; place-level combining additionally
+/// merges values *across* tasks, applying the combiner to values in task
+/// order with equal keys tie-broken by task order. A combiner that is
+/// sensitive to grouping depth or value arrival order will change job
+/// output with this flag on. Jobs without a combiner ignore the flag.
+pub const PLACE_COMBINE: &str = "m3r.shuffle.place.combine";
 
 /// A string-keyed configuration map with typed accessors.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -204,6 +218,18 @@ impl JobConf {
         self.set(CLIENT_ID, client)
     }
 
+    /// Whether place-level shared combining is requested for this job
+    /// (default `false`). See [`PLACE_COMBINE`] for the combiner contract.
+    pub fn place_level_combine(&self) -> bool {
+        self.get_bool(PLACE_COMBINE, false)
+    }
+
+    /// Opt this job into place-level shared combining. The job's combiner
+    /// must be associative and commutative (see [`PLACE_COMBINE`]).
+    pub fn set_place_level_combine(&mut self, on: bool) -> &mut Self {
+        self.set(PLACE_COMBINE, on.to_string())
+    }
+
     /// Iterate over all properties.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.props.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -276,6 +302,16 @@ mod tests {
         c.add_cache_file(&HPath::new("/dict/en"));
         c.add_cache_file(&HPath::new("/dict/fr"));
         assert_eq!(c.cache_files().len(), 2);
+    }
+
+    #[test]
+    fn place_combine_knob_roundtrip() {
+        let mut c = JobConf::new();
+        assert!(!c.place_level_combine(), "off by default");
+        c.set_place_level_combine(true);
+        assert!(c.place_level_combine());
+        c.set_place_level_combine(false);
+        assert!(!c.place_level_combine());
     }
 
     #[test]

@@ -197,8 +197,14 @@ pub struct CostAware {
     entries: HashMap<u64, (u64, u64)>, // id -> (freq, bytes)
 }
 
-/// Modelled fixed reload overhead per entry, in byte-equivalents.
-const PER_ENTRY_COST: u64 = 64 * 1024;
+/// Modelled fixed reload overhead per entry, in byte-equivalents,
+/// calibrated against the SimDfs cost model: reloading a spilled entry
+/// pays one seek (`CostModel::disk_seek`, 5 ms) before streaming at
+/// `CostModel::disk_bw` (80 MB/s), so the seek is worth
+/// `5e-3 s × 80e6 B/s = 400_000` bytes of transfer. Entries smaller than
+/// this are seek-dominated and worth keeping; larger ones are
+/// bandwidth-dominated and go first.
+const PER_ENTRY_COST: u64 = 400_000;
 
 fn cost_score(freq: u64, bytes: u64) -> u128 {
     // freq * (bytes + C) / bytes, scaled by 1000 to keep precision.

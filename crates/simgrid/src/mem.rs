@@ -37,16 +37,20 @@ pub enum MemClass {
     Shuffle,
     /// Buffer-pool free-list capacity (warm but dead bytes).
     Pool,
+    /// Place/node-level combine tables absorbing map output before the
+    /// shuffle streams serialize it (transient within a map phase).
+    Combine,
 }
 
 impl MemClass {
-    const COUNT: usize = 3;
+    const COUNT: usize = 4;
 
     fn index(self) -> usize {
         match self {
             MemClass::Cache => 0,
             MemClass::Shuffle => 1,
             MemClass::Pool => 2,
+            MemClass::Combine => 3,
         }
     }
 
@@ -55,11 +59,17 @@ impl MemClass {
             MemClass::Cache => "cache",
             MemClass::Shuffle => "shuffle",
             MemClass::Pool => "pool",
+            MemClass::Combine => "combine",
         }
     }
 
     fn all() -> [MemClass; Self::COUNT] {
-        [MemClass::Cache, MemClass::Shuffle, MemClass::Pool]
+        [
+            MemClass::Cache,
+            MemClass::Shuffle,
+            MemClass::Pool,
+            MemClass::Combine,
+        ]
     }
 }
 
@@ -82,6 +92,9 @@ struct PlaceMem {
     classes: [AtomicU64; MemClass::COUNT],
     /// Highest total live bytes ever observed at this place.
     high_watermark: AtomicU64,
+    /// Highest [`MemClass::Combine`] bytes ever observed at this place —
+    /// the peak footprint of place-level combine tables.
+    combine_high_watermark: AtomicU64,
     /// Cache entries evicted at this place.
     evictions: AtomicU64,
     /// Bytes spilled to the DFS by evictions at this place.
@@ -161,7 +174,10 @@ impl MemAccountant {
             return;
         }
         let p = self.place(place);
-        p.classes[class.index()].fetch_add(bytes, Ordering::Relaxed);
+        let class_live = p.classes[class.index()].fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if class == MemClass::Combine {
+            p.combine_high_watermark.fetch_max(class_live, Ordering::Relaxed);
+        }
         let live = p.live();
         p.high_watermark.fetch_max(live, Ordering::Relaxed);
         if let Some(m) = &self.inner.metrics {
@@ -195,6 +211,15 @@ impl MemAccountant {
     /// [`MemAccountant::reset_stats`]).
     pub fn high_watermark(&self, place: usize) -> u64 {
         self.place(place).high_watermark.load(Ordering::Relaxed)
+    }
+
+    /// Highest [`MemClass::Combine`] bytes ever observed at `place` — the
+    /// peak footprint of place-level combine tables (since the last
+    /// [`MemAccountant::reset_stats`]).
+    pub fn combine_high_watermark(&self, place: usize) -> u64 {
+        self.place(place)
+            .combine_high_watermark
+            .load(Ordering::Relaxed)
     }
 
     /// Set the per-place byte budget; `None` means unlimited.
@@ -289,6 +314,10 @@ impl MemAccountant {
     pub fn reset_stats(&self) {
         for p in &self.inner.places {
             p.high_watermark.store(p.live(), Ordering::Relaxed);
+            p.combine_high_watermark.store(
+                p.classes[MemClass::Combine.index()].load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
             p.evictions.store(0, Ordering::Relaxed);
             p.spill_bytes.store(0, Ordering::Relaxed);
             p.reload_bytes.store(0, Ordering::Relaxed);
@@ -315,8 +344,9 @@ impl MemAccountant {
             }
             let _ = writeln!(
                 out,
-                "hwm={} evictions={} spill_bytes={} reload_bytes={}",
+                "hwm={} combine_hwm={} evictions={} spill_bytes={} reload_bytes={}",
                 p.high_watermark.load(Ordering::Relaxed),
+                p.combine_high_watermark.load(Ordering::Relaxed),
                 p.evictions.load(Ordering::Relaxed),
                 p.spill_bytes.load(Ordering::Relaxed),
                 p.reload_bytes.load(Ordering::Relaxed),
@@ -333,6 +363,22 @@ impl MemAccountant {
             out,
             "  cache: hits={hits} misses={misses} hit_rate={hit_rate:.1}%"
         );
+        if let Some(m) = &self.inner.metrics {
+            // Pool effectiveness lives in `Metrics` but outside the
+            // snapshot (PR 3); surface it here so the accountant section
+            // is the one place to read memory behaviour.
+            let (ph, pm) = (m.pool_hits(), m.pool_misses());
+            let preq = ph + pm;
+            let prate = if preq == 0 {
+                0.0
+            } else {
+                100.0 * ph as f64 / preq as f64
+            };
+            let _ = writeln!(
+                out,
+                "  pool: hits={ph} misses={pm} hit_rate={prate:.1}%"
+            );
+        }
         let _ = match self.budget() {
             Some(b) => writeln!(
                 out,
@@ -409,6 +455,22 @@ mod tests {
         assert_eq!(mem.high_watermark(0), 50, "watermark re-seeds to live");
         assert_eq!(mem.evictions(0), 0);
         assert_eq!(mem.cache_accesses(), (0, 0));
+    }
+
+    #[test]
+    fn combine_watermark_ratchets_and_reseeds() {
+        let mem = MemAccountant::new(1);
+        mem.grow(0, MemClass::Combine, 300);
+        mem.shrink(0, MemClass::Combine, 200);
+        assert_eq!(mem.combine_high_watermark(0), 300, "ratchet holds");
+        assert_eq!(mem.live_class(0, MemClass::Combine), 100);
+        mem.reset_stats();
+        assert_eq!(
+            mem.combine_high_watermark(0),
+            100,
+            "re-seeds to live combine bytes"
+        );
+        assert!(mem.report_section().contains("combine_hwm=100"));
     }
 
     #[test]

@@ -65,6 +65,9 @@ pub enum Phase {
     Map,
     /// Moving map output to reducers: serialization, fetch, ingest.
     Shuffle,
+    /// Place/node-level shared combining of map output before shuffle
+    /// serialization (absorb + drain of the combine tables).
+    Combine,
     /// Sorting: sort-buffer runs, spills, merges, reduce-side sorts.
     Sort,
     /// Reduce task execution.
@@ -85,6 +88,7 @@ impl Phase {
             Phase::Setup => "setup",
             Phase::Map => "map",
             Phase::Shuffle => "shuffle",
+            Phase::Combine => "combine",
             Phase::Sort => "sort",
             Phase::Reduce => "reduce",
             Phase::Io => "io",
@@ -94,11 +98,12 @@ impl Phase {
     }
 
     /// Every phase, in report order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Submit,
         Phase::Setup,
         Phase::Map,
         Phase::Shuffle,
+        Phase::Combine,
         Phase::Sort,
         Phase::Reduce,
         Phase::Io,
