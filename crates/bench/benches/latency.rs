@@ -1,0 +1,198 @@
+//! Criterion view of the hot-path latency tiers (`cargo bench -p
+//! m3r-bench --bench latency`). Same kernels and fixtures as the
+//! `latency` binary (`m3r_bench::latency`), presented as criterion groups
+//! for interactive before/after work; the binary is the one that writes
+//! `bench-results/latency.{txt,json}` and backs the CI smoke check.
+//!
+//! Group map:
+//!
+//! - `latency_store`   — kv-store put/get, governed-cache resident hit
+//! - `latency_buffers` — BufPool round trip, record encode, shuffle route
+//! - `latency_sort`    — decoded vs raw sort straddling RAW_SORT_MIN_PAIRS,
+//!   group-span scan
+//! - `latency_bulk`    — comparison vs radix prefix sort, sort+scan vs
+//!   hash-grouped ingest at 2× RADIX_SORT_MIN_PAIRS
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use hmr_api::comparator::{
+    group_spans, ingest_reduce_groups, sort_pairs_tuned, KeyComparator,
+};
+use hmr_api::writable::{IntWritable, Text, Writable};
+use hmr_api::HPath;
+use kvstore::{BlockData, KPath, KvStore};
+use m3r_bench::latency::{
+    comparison_tuning, decoded_tuning, hash_ingest_tuning, int_pairs, radix_tuning, small_seq,
+    sort_ingest_tuning, ABOVE_RAW, BELOW_RAW, BULK,
+};
+use m3r::shuffle::ShuffleStream;
+use m3r::KvCache;
+use simgrid::BufPool;
+use x10rt::serialize::{DedupMode, Serializer};
+
+fn bench_store_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_store");
+    let store: KvStore<u64> = KvStore::new(4);
+    let path = KPath::new("/bench/tier/block");
+    let payload: BlockData = Arc::new(vec![0u8; 64]);
+    store.write_block(0, &path, 7, Arc::clone(&payload), 64).unwrap();
+    g.bench_function("kvstore_put", |b| {
+        b.iter(|| store.write_block(0, &path, 7, Arc::clone(&payload), 64).unwrap())
+    });
+    g.bench_function("kvstore_get", |b| {
+        b.iter(|| black_box(store.create_reader(&path, &7).unwrap()))
+    });
+    let cache = KvCache::new(2);
+    let hot = HPath::new("/tiers/hot");
+    cache.put_seq(0, &hot, small_seq(4), 64).unwrap();
+    g.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(cache.get_seq::<IntWritable, Text>(&hot, None).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_buffer_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_buffers");
+    let pool = BufPool::new();
+    pool.reclaim(pool.get(1 << 16).freeze());
+    g.bench_function("bufpool_cycle", |b| {
+        b.iter(|| {
+            let buf = pool.get(1 << 16);
+            pool.reclaim(buf.freeze());
+        })
+    });
+    // One op = one (key, value) record. The sink serializer is rebuilt per
+    // batch via iter_with_setup so buffer growth stays out of the loop.
+    let keys: Vec<Arc<IntWritable>> = (0..256).map(|i| Arc::new(IntWritable(i))).collect();
+    let vals: Vec<Arc<Text>> =
+        (0..256).map(|i| Arc::new(Text::from(format!("value-{i:04}")))).collect();
+    const BATCH: usize = 4096;
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("serialize_record_x4096", |b| {
+        b.iter_with_setup(
+            || Serializer::with_capacity(BATCH * 32, DedupMode::Off),
+            |mut ser| {
+                for i in 0..BATCH {
+                    let j = i & 255;
+                    ser.write_arc_with(&keys[j], |k, buf| k.write_to(buf));
+                    ser.write_arc_with(&vals[j], |v, buf| v.write_to(buf));
+                }
+                black_box(ser.len())
+            },
+        )
+    });
+    g.bench_function("shuffle_route_x4096", |b| {
+        b.iter_with_setup(
+            || {
+                let records: Vec<(Arc<IntWritable>, Arc<Text>)> = (0..BATCH)
+                    .map(|i| {
+                        (
+                            Arc::new(IntWritable(i as i32)),
+                            Arc::new(Text::from(format!("payload-{i:06}"))),
+                        )
+                    })
+                    .collect();
+                let mut stream = ShuffleStream::new(DedupMode::Full);
+                stream.reserve(BATCH * 40);
+                (records, stream)
+            },
+            |(records, mut stream)| {
+                for (i, (k, v)) in records.iter().enumerate() {
+                    stream.push(i & 15, k, v);
+                }
+                black_box(stream.len())
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_sort_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_sort");
+    let natural: KeyComparator<IntWritable> = KeyComparator::natural();
+    let below = int_pairs(BELOW_RAW);
+    let above = int_pairs(ABOVE_RAW);
+    g.bench_function(format!("sort_decoded_{BELOW_RAW}"), |b| {
+        b.iter_with_setup(
+            || below.clone(),
+            |mut p| {
+                sort_pairs_tuned(&mut p, &natural, &decoded_tuning(), None);
+                black_box(p.len())
+            },
+        )
+    });
+    g.bench_function(format!("sort_raw_{ABOVE_RAW}"), |b| {
+        b.iter_with_setup(
+            || above.clone(),
+            |mut p| {
+                sort_pairs_tuned(&mut p, &natural, &comparison_tuning(), None);
+                black_box(p.len())
+            },
+        )
+    });
+    let mut sorted = above.clone();
+    sort_pairs_tuned(&mut sorted, &natural, &comparison_tuning(), None);
+    g.bench_function(format!("group_spans_{ABOVE_RAW}"), |b| {
+        b.iter(|| black_box(group_spans(&sorted, &natural).len()))
+    });
+    g.finish();
+}
+
+fn bench_bulk_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_bulk");
+    g.throughput(Throughput::Elements(BULK as u64));
+    let natural: KeyComparator<IntWritable> = KeyComparator::natural();
+    let bulk = int_pairs(BULK);
+    g.bench_function(format!("std_sort_{BULK}"), |b| {
+        b.iter_with_setup(
+            || bulk.clone(),
+            |mut p| {
+                sort_pairs_tuned(&mut p, &natural, &comparison_tuning(), None);
+                black_box(p.len())
+            },
+        )
+    });
+    g.bench_function(format!("radix_sort_{BULK}"), |b| {
+        b.iter_with_setup(
+            || bulk.clone(),
+            |mut p| {
+                sort_pairs_tuned(&mut p, &natural, &radix_tuning(), None);
+                black_box(p.len())
+            },
+        )
+    });
+    g.bench_function(format!("sort_group_{BULK}"), |b| {
+        b.iter_with_setup(
+            || bulk.clone(),
+            |mut p| {
+                black_box(
+                    ingest_reduce_groups(&mut p, &natural, &natural, &sort_ingest_tuning(), None)
+                        .len(),
+                )
+            },
+        )
+    });
+    g.bench_function(format!("hash_group_{BULK}"), |b| {
+        b.iter_with_setup(
+            || bulk.clone(),
+            |mut p| {
+                black_box(
+                    ingest_reduce_groups(&mut p, &natural, &natural, &hash_ingest_tuning(), None)
+                        .len(),
+                )
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store_tiers,
+    bench_buffer_tiers,
+    bench_sort_tiers,
+    bench_bulk_tiers
+);
+criterion_main!(benches);

@@ -20,6 +20,8 @@
 //! numbers except for the (tiny, `compute_scale`-weighted) real-compute
 //! component.
 
+pub mod latency;
+
 use simdfs::SimDfs;
 use simgrid::{Cluster, CostModel};
 

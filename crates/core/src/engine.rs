@@ -26,7 +26,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use hmr_api::comparator::{group_spans, sort_pairs_by};
+use hmr_api::comparator::{ingest_reduce_groups, SortTuning};
 use hmr_api::conf::JobConf;
 use hmr_api::counters::{task_counter, Counters, TaskContext};
 use hmr_api::distcache::DistCache;
@@ -38,7 +38,7 @@ use hmr_api::writable::{write_vu64, Writable};
 use kvstore::policy::PolicyKind;
 use simgrid::cost::Charge;
 use simgrid::trace::{self, Phase};
-use simgrid::{BufPool, Cluster, Meter, OomMode};
+use simgrid::{Arena, BufPool, Cluster, Meter, OomMode};
 use x10rt::serialize::DedupMode;
 use x10rt::World;
 
@@ -96,6 +96,20 @@ pub struct M3ROptions {
     /// run is bit-identical serial vs parallel, and under a finite budget
     /// an over-budget table drains early and degrades to plain streaming.
     pub place_combine: bool,
+    /// Hash-grouped reduce ingest (ISSUE 8): natural-order reduces build
+    /// their key groups through a raw-key hash table that drains in
+    /// ascending key order instead of a full sort. Wall-clock only —
+    /// outputs, counters and simulated seconds are bit-identical with the
+    /// flag off (the `Charge::Sort` bill is per record either way). Jobs
+    /// with custom comparators always take the sort path; a per-job
+    /// `m3r.reduce.hash.group` conf knob can also force it off.
+    pub hash_group_ingest: bool,
+    /// Arena-per-wave allocation (ISSUE 8): reduce/combine scratch (pair
+    /// vectors, raw-key buffers, permutations) is leased from a per-place
+    /// [`Arena`] and recycled at wave end instead of round-tripping the
+    /// global allocator. Wall-clock only; retained bytes are accounted to
+    /// [`simgrid::MemClass::Arena`], which budgets deliberately ignore.
+    pub arena: bool,
 }
 
 /// How the governed cache behaves under a per-place memory budget. The
@@ -124,6 +138,8 @@ impl Default for M3ROptions {
             buffer_pool: true,
             memory: Some(MemoryOptions::default()),
             place_combine: false,
+            hash_group_ingest: true,
+            arena: true,
         }
     }
 }
@@ -143,6 +159,9 @@ pub struct M3REngine {
     /// One buffer pool per place, persisted across jobs — the shuffle
     /// streams of job *n+1* reuse the grown buffers of job *n*.
     pools: Vec<Arc<BufPool>>,
+    /// One scratch arena per place, persisted across jobs like the pools:
+    /// wave *n+1* leases the pair vectors wave *n* grew.
+    arenas: Vec<Arc<Arena>>,
 }
 
 impl M3REngine {
@@ -179,6 +198,14 @@ impl M3REngine {
                 })
             })
             .collect();
+        let arenas = (0..places)
+            .map(|place| {
+                Arc::new(match &opts.memory {
+                    Some(_) => Arena::with_accounting(cluster.mem().clone(), place),
+                    None => Arena::new(),
+                })
+            })
+            .collect();
         M3REngine {
             world: Arc::new(World::new(places)),
             fs: Arc::new(CachingFs::new(fs, cache)),
@@ -187,12 +214,18 @@ impl M3REngine {
             job_seq: AtomicU64::new(0),
             dist_memo: Mutex::new(HashMap::new()),
             pools,
+            arenas,
         }
     }
 
     /// The per-place shuffle buffer pools (test/bench introspection).
     pub fn buffer_pools(&self) -> &[Arc<BufPool>] {
         &self.pools
+    }
+
+    /// The per-place scratch arenas (test/bench introspection).
+    pub fn arenas(&self) -> &[Arc<Arena>] {
+        &self.arenas
     }
 
     /// The caching filesystem view jobs should use (also exposes the
@@ -271,6 +304,15 @@ impl M3REngine {
         }
         Ok(())
     }
+}
+
+/// Resolve the sort/group tuning for one job: process defaults and env
+/// overrides, then per-job conf knobs, then the engine's own
+/// `hash_group_ingest` option as a final gate.
+fn sort_tuning(conf: &JobConf, opts: &M3ROptions) -> SortTuning {
+    let mut t = SortTuning::for_job(conf);
+    t.hash_group &= opts.hash_group_ingest;
+    t
 }
 
 /// `"path@offset+len"` → cacheable `(path, Some(len))`; plain names map to
@@ -548,11 +590,12 @@ impl M3REngine {
                 let convert = convert.clone();
                 let opts = opts.clone();
                 let pool = Arc::clone(&self.pools[place]);
+                let arena = opts.arena.then(|| Arc::clone(&self.arenas[place]));
                 fin.at(place, move |_pc| {
                     let r = map_phase_at_place(
                         place, &job, &conf, &fs, &cluster, &splits, &per_place[place],
                         &shared, &dist_cache, convert, &opts, place_map, num_reducers,
-                        &pool, tjob,
+                        &pool, arena.as_deref(), tjob,
                     );
                     shared.record(r);
                 });
@@ -575,10 +618,11 @@ impl M3REngine {
                     let dist_cache = Arc::clone(&dist_cache);
                     let opts = opts.clone();
                     let pool = Arc::clone(&self.pools[place]);
+                    let arena = opts.arena.then(|| Arc::clone(&self.arenas[place]));
                     fin.at(place, move |_pc| {
                         let r = reduce_phase_at_place(
                             place, &job, &conf, &fs, &cluster, &shared, &dist_cache,
-                            &opts, place_map, num_reducers, &pool, tjob,
+                            &opts, place_map, num_reducers, &pool, arena.as_deref(), tjob,
                         );
                         shared.record(r);
                     });
@@ -632,11 +676,13 @@ fn map_phase_at_place<J: JobDef>(
     place_map: PlaceMap,
     num_reducers: usize,
     pool: &Arc<BufPool>,
+    arena: Option<&Arena>,
     tjob: u64,
 ) -> Result<()> {
     let node = cluster.node(place);
     let input_format = job.input_format(conf);
     let output_format = job.output_format(conf);
+    let tuning = sort_tuning(conf, opts);
     let nplaces = cluster.len();
     // Streams persist across every mapper at this place: full
     // de-duplication spans the whole place→place channel. Only the place
@@ -685,7 +731,7 @@ fn map_phase_at_place<J: JobDef>(
                     run_map_task(
                         place, si, job, conf, fs, &*input_format, &*output_format,
                         splits[si].as_ref(), shared, dist_cache, convert.clone(), opts,
-                        place_map, num_reducers, nplaces,
+                        place_map, num_reducers, nplaces, &tuning, arena,
                     )
                 });
                 (r, trace::take_pending())
@@ -779,6 +825,11 @@ fn map_phase_at_place<J: JobDef>(
         }
         node.clock()
             .advance(simgrid::pool::wave_duration(&scratches));
+        // Wave boundary: trim this place's scratch shelf back to its
+        // retention cap (wall-clock only; nothing simulated observes it).
+        if let Some(a) = arena {
+            a.end_wave();
+        }
     }
 
     // Drain the (never-overflowed) combine tables into the streams on the
@@ -956,6 +1007,8 @@ fn run_map_task<J: JobDef>(
     place_map: PlaceMap,
     num_reducers: usize,
     nplaces: usize,
+    tuning: &SortTuning,
+    arena: Option<&Arena>,
 ) -> Result<RoutedOutput<J>> {
     let mut ctx = TaskContext::new(
         format!("m3r_m_{si:06}"),
@@ -1049,11 +1102,11 @@ fn run_map_task<J: JobDef>(
                 records: bucket.len() as u64,
             });
             let mut sorted = std::mem::take(bucket);
-            sort_pairs_by(&mut sorted, &sort_cmp);
+            let spans = ingest_reduce_groups(&mut sorted, &sort_cmp, &group_cmp, tuning, arena);
             ctx.incr_task_counter(task_counter::COMBINE_INPUT_RECORDS, sorted.len() as i64);
             let mut out: hmr_api::collect::VecCollector<J::K2, J::V2> =
                 hmr_api::collect::VecCollector::new();
-            for span in group_spans(&sorted, &group_cmp) {
+            for span in spans {
                 let key = Arc::clone(&sorted[span.start].0);
                 let mut values = sorted[span.clone()].iter().map(|(_, v)| Arc::clone(v));
                 combiner.reduce(key, &mut values, &mut out, &mut ctx)?;
@@ -1063,6 +1116,9 @@ fn run_map_task<J: JobDef>(
                 out.pairs.len() as i64,
             );
             *bucket = out.pairs;
+            if let Some(a) = arena {
+                a.recycle(sorted);
+            }
         }
     }
 
@@ -1120,11 +1176,13 @@ fn reduce_phase_at_place<J: JobDef>(
     place_map: PlaceMap,
     num_reducers: usize,
     pool: &Arc<BufPool>,
+    arena: Option<&Arena>,
     tjob: u64,
 ) -> Result<()> {
     let node = cluster.node(place);
     let nplaces = cluster.len();
     let output_format = job.output_format(conf);
+    let tuning = sort_tuning(conf, opts);
 
     // Receive remote streams: network + deserialization, charged here — the
     // receiving place does this work after the shuffle barrier. The
@@ -1203,6 +1261,7 @@ fn reduce_phase_at_place<J: JobDef>(
                 let r = trace::span(Phase::Reduce, "reduce", Some(p as u64), || {
                     run_reduce_partition(
                         place, p, job, conf, fs, &*output_format, pairs, shared, dist_cache,
+                        &tuning, arena,
                     )
                 });
                 (r, trace::take_pending())
@@ -1214,6 +1273,11 @@ fn reduce_phase_at_place<J: JobDef>(
         }
         node.clock()
             .advance(simgrid::pool::wave_duration(&scratches));
+        // Wave boundary: trim this place's scratch shelf back to its
+        // retention cap (wall-clock only; nothing simulated observes it).
+        if let Some(a) = arena {
+            a.end_wave();
+        }
     }
     Ok(())
 }
@@ -1278,6 +1342,8 @@ fn run_reduce_partition<J: JobDef>(
     mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)>,
     shared: &Arc<Shared<J>>,
     dist_cache: &Arc<DistCache>,
+    tuning: &SortTuning,
+    arena: Option<&Arena>,
 ) -> Result<()> {
     let mut ctx = TaskContext::new(
         format!("m3r_r_{partition:06}"),
@@ -1286,15 +1352,18 @@ fn run_reduce_partition<J: JobDef>(
     );
     ctx.set_partition(Some(partition));
 
-    trace::span(Phase::Sort, "sort", Some(partition as u64), || {
+    // The ingest kernel (sort-based or hash-grouped, see
+    // `ingest_reduce_groups`) always yields groups in the sorted order and
+    // bills one sort-pass record per pair, so the simulated charge — and
+    // with it every downstream clock — is independent of which path ran.
+    let spans = trace::span(Phase::Sort, "sort", Some(partition as u64), || {
         simgrid::meter::charge(Charge::Sort {
             records: pairs.len() as u64,
         });
         let sort_cmp = job.sort_comparator();
-        sort_pairs_by(&mut pairs, &sort_cmp);
+        let group_cmp = job.grouping_comparator();
+        ingest_reduce_groups(&mut pairs, &sort_cmp, &group_cmp, tuning, arena)
     });
-    let group_cmp = job.grouping_comparator();
-    let spans = group_spans(&pairs, &group_cmp);
     ctx.incr_task_counter(task_counter::REDUCE_INPUT_RECORDS, pairs.len() as i64);
     ctx.incr_task_counter(task_counter::REDUCE_INPUT_GROUPS, spans.len() as i64);
 
@@ -1318,6 +1387,11 @@ fn run_reduce_partition<J: JobDef>(
     simgrid::meter::charge(Charge::Compute {
         seconds: compute_start.elapsed().as_secs_f64(),
     });
+    if let Some(a) = arena {
+        // The ingested pair vector goes back on the shelf for the next
+        // partition of this wave (or the next job) to lease.
+        a.recycle(pairs);
+    }
 
     let main_pairs = out.close()?;
     let records = main_pairs.len() as u64;

@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
 use hmr_api::collect::{MapCollector, OutputCollector, VecCollector};
+use hmr_api::comparator::{ingest_reduce_groups, SortTuning};
 use hmr_api::conf::JobConf;
 use hmr_api::counters::{task_counter, Counters, TaskContext};
 use hmr_api::distcache::DistCache;
@@ -41,7 +42,7 @@ use hmr_api::job::{Engine, JobDef, JobResult, LaneEngine};
 use hmr_api::writable::Writable;
 use simgrid::cost::Charge;
 use simgrid::trace::{self, Phase};
-use simgrid::{BufPool, Cluster, Meter, NodeId};
+use simgrid::{Arena, BufPool, Cluster, Meter, NodeId};
 
 use sortbuffer::{decode_segment, frame_record, SortBuffer};
 
@@ -80,6 +81,18 @@ pub struct EngineOptions {
     /// job); jobs without a combiner are unaffected. Off (the default) is
     /// bit-identical to pre-combine behaviour.
     pub node_combine: bool,
+    /// Hash-grouped reduce ingest (ISSUE 8): natural-order reduces group
+    /// through a raw-key hash table draining in ascending key order instead
+    /// of a full sort. Wall-clock only — outputs, counters and simulated
+    /// seconds are bit-identical with the flag off; custom comparators
+    /// always take the sort path. The per-job `m3r.reduce.hash.group` conf
+    /// knob can also force it off.
+    pub hash_group_ingest: bool,
+    /// Arena-per-wave allocation (ISSUE 8): reduce/combine scratch is
+    /// leased from a per-node [`Arena`] and recycled at wave end. Wall-clock
+    /// only; retention is accounted to [`simgrid::MemClass::Arena`], which
+    /// budgets deliberately ignore.
+    pub arena: bool,
 }
 
 impl Default for EngineOptions {
@@ -92,6 +105,8 @@ impl Default for EngineOptions {
             real_parallelism: true,
             buffer_pool: true,
             node_combine: false,
+            hash_group_ingest: true,
+            arena: true,
         }
     }
 }
@@ -104,6 +119,8 @@ pub struct HadoopEngine {
     /// One segment-buffer pool per node. The engine object is long-lived
     /// even though simulated tasks are not, so buffers recycle across jobs.
     pools: Vec<Arc<BufPool>>,
+    /// One scratch arena per node, persisted across jobs like the pools.
+    arenas: Vec<Arc<Arena>>,
 }
 
 impl HadoopEngine {
@@ -124,17 +141,26 @@ impl HadoopEngine {
                 ))
             })
             .collect();
+        let arenas = (0..cluster.len())
+            .map(|node| Arc::new(Arena::with_accounting(cluster.mem().clone(), node)))
+            .collect();
         HadoopEngine {
             cluster,
             fs,
             opts,
             pools,
+            arenas,
         }
     }
 
     /// The per-node segment buffer pools (test/bench introspection).
     pub fn buffer_pools(&self) -> &[Arc<BufPool>] {
         &self.pools
+    }
+
+    /// The per-node scratch arenas (test/bench introspection).
+    pub fn arenas(&self) -> &[Arc<Arena>] {
+        &self.arenas
     }
 
     /// The simulated cluster.
@@ -276,6 +302,13 @@ impl HadoopEngine {
             nnodes * self.opts.map_slots_per_node,
         )?;
         let num_reducers = conf.num_reduce_tasks();
+        // Sort/group tuning for this job: process defaults and env
+        // overrides, then conf knobs, gated by the engine option.
+        let tuning = {
+            let mut t = SortTuning::for_job(&conf);
+            t.hash_group &= self.opts.hash_group_ingest;
+            t
+        };
         let convert = if num_reducers == 0 {
             Some(job.map_only_convert().ok_or_else(|| {
                 HmrError::InvalidJob(
@@ -388,8 +421,13 @@ impl HadoopEngine {
                         num_reducers,
                         self.opts.buffer_pool.then(|| &*self.pools[node_id]),
                         &dist_cache,
+                        &tuning,
+                        self.opts.arena.then(|| &*self.arenas[node_id]),
                     )?;
                     counters.merge(&wave_counters);
+                }
+                if self.opts.arena {
+                    self.arenas[node_id].end_wave();
                 }
             }
         }
@@ -448,6 +486,8 @@ impl HadoopEngine {
                                             partition,
                                             &dist_cache,
                                             self.opts.sort_buffer_bytes,
+                                            &tuning,
+                                            self.opts.arena.then(|| &*self.arenas[node_id]),
                                         )
                                     })
                                 },
@@ -465,6 +505,9 @@ impl HadoopEngine {
                     }
                     node.clock()
                         .advance(simgrid::pool::wave_duration(&scratches));
+                    if self.opts.arena {
+                        self.arenas[node_id].end_wave();
+                    }
                 }
             }
         }
@@ -550,6 +593,8 @@ fn combine_wave_segments<J: JobDef>(
     num_reducers: usize,
     pool: Option<&BufPool>,
     dist_cache: &Arc<DistCache>,
+    tuning: &SortTuning,
+    arena: Option<&Arena>,
 ) -> Result<Counters> {
     let node = cluster.node(node_id);
     let mut combiner = job
@@ -589,15 +634,19 @@ fn combine_wave_segments<J: JobDef>(
                 cluster
                     .mem()
                     .grow(node_id, simgrid::MemClass::Combine, in_bytes);
-                let mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)> = Vec::new();
+                let mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)> = match arena {
+                    Some(a) => a.lease(),
+                    None => Vec::new(),
+                };
                 for &t in &contributing {
                     pairs.extend(decode_segment::<J::K2, J::V2>(&map_outputs[t][partition])?);
                 }
                 simgrid::meter::charge(Charge::Deserialize { bytes: in_bytes });
-                hmr_api::comparator::sort_pairs_by(&mut pairs, &sort_cmp);
+                let spans =
+                    ingest_reduce_groups(&mut pairs, &sort_cmp, &group_cmp, tuning, arena);
                 ctx.incr_task_counter(task_counter::COMBINE_INPUT_RECORDS, pairs.len() as i64);
                 let mut out: VecCollector<J::K2, J::V2> = VecCollector::new();
-                for span in hmr_api::comparator::group_spans(&pairs, &group_cmp) {
+                for span in spans {
                     let key = Arc::clone(&pairs[span.start].0);
                     let mut values = pairs[span.clone()].iter().map(|(_, v)| Arc::clone(v));
                     combiner.reduce(key, &mut values, &mut out, &mut ctx)?;
@@ -645,6 +694,9 @@ fn combine_wave_segments<J: JobDef>(
                 cluster
                     .mem()
                     .shrink(node_id, simgrid::MemClass::Combine, in_bytes);
+                if let Some(a) = arena {
+                    a.recycle(pairs);
+                }
             }
             Ok(())
         })
@@ -771,6 +823,8 @@ fn run_reduce_task<J: JobDef>(
     partition: usize,
     dist_cache: &Arc<DistCache>,
     sort_buffer_bytes: usize,
+    tuning: &SortTuning,
+    arena: Option<&Arena>,
 ) -> Result<(Counters, u64)> {
     simgrid::meter::charge(Charge::TaskStartup);
     let mut ctx = TaskContext::new(
@@ -780,9 +834,15 @@ fn run_reduce_task<J: JobDef>(
     );
     ctx.set_partition(Some(partition));
 
-    // Shuffle fetch: every map task's segment for this partition.
+    // Shuffle fetch: every map task's segment for this partition. The
+    // pair vector is leased from the node's arena so successive reduce
+    // waves reuse grown capacity instead of re-allocating (wall-clock
+    // only; the charges below are unchanged).
     let mut total_bytes = 0u64;
-    let mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)> = Vec::new();
+    let mut pairs: Vec<(Arc<J::K2>, Arc<J::V2>)> = match arena {
+        Some(a) => a.lease(),
+        None => Vec::new(),
+    };
     trace::span(Phase::Shuffle, "fetch", Some(partition as u64), || -> Result<()> {
         for segments in map_outputs {
             let Some(seg) = segments.get(partition) else {
@@ -803,7 +863,10 @@ fn run_reduce_task<J: JobDef>(
         simgrid::meter::charge(Charge::Deserialize { bytes: total_bytes });
         Ok(())
     })?;
-    trace::span(Phase::Sort, "sort", Some(partition as u64), || {
+    // The ingest kernel (sort-based or hash-grouped) yields groups in the
+    // sorted order and bills per record either way — simulated seconds are
+    // independent of which path ran.
+    let spans = trace::span(Phase::Sort, "sort", Some(partition as u64), || {
         if total_bytes as usize > sort_buffer_bytes {
             // Out-of-core merge: one extra round trip through local disk.
             simgrid::meter::charge(Charge::DiskWrite { bytes: total_bytes });
@@ -813,10 +876,9 @@ fn run_reduce_task<J: JobDef>(
             records: pairs.len() as u64,
         });
         let sort_cmp = job.sort_comparator();
-        hmr_api::comparator::sort_pairs_by(&mut pairs, &sort_cmp);
+        let group_cmp = job.grouping_comparator();
+        ingest_reduce_groups(&mut pairs, &sort_cmp, &group_cmp, tuning, arena)
     });
-    let group_cmp = job.grouping_comparator();
-    let spans = hmr_api::comparator::group_spans(&pairs, &group_cmp);
 
     ctx.incr_task_counter(task_counter::REDUCE_INPUT_RECORDS, pairs.len() as i64);
     ctx.incr_task_counter(task_counter::REDUCE_INPUT_GROUPS, spans.len() as i64);
@@ -843,6 +905,9 @@ fn run_reduce_task<J: JobDef>(
     simgrid::meter::charge(Charge::Compute {
         seconds: compute_start.elapsed().as_secs_f64(),
     });
+    if let Some(a) = arena {
+        a.recycle(pairs);
+    }
     let records = sink.close()?;
     ctx.incr_task_counter(task_counter::REDUCE_OUTPUT_RECORDS, records as i64);
     Ok((ctx.into_counters(), records))
@@ -939,9 +1004,7 @@ mod tests {
                 reduce_slots_per_node: 2,
                 sort_buffer_bytes: 1 << 16,
                 max_task_attempts: 4,
-                real_parallelism: true,
-                buffer_pool: true,
-                node_combine: false,
+                ..EngineOptions::default()
             },
         );
         (engine, fs)

@@ -1,13 +1,33 @@
-//! User-specified sorting and grouping comparators.
+//! User-specified sorting and grouping comparators, and the reduce-ingest
+//! kernels built on them.
 //!
 //! The HMR APIs supported by M3R include "user-specified sorting and
 //! grouping comparators" (§1). The *sort* comparator orders the reduce
 //! input; the *grouping* comparator decides which adjacent keys share one
 //! `reduce()` call (secondary-sort idiom).
+//!
+//! Beyond the comparators themselves this module holds the engine-shared
+//! hot-path kernels the latency tiers measure (`bench-results/latency.*`):
+//!
+//! * [`sort_pairs_tuned`] — raw-key prefix sort with an LSD radix path for
+//!   large runs, tunable through [`SortTuning`];
+//! * [`hash_group_pairs`] / [`ingest_reduce_groups`] — hash-grouped reduce
+//!   ingest for natural-order jobs, which groups N records by raw-key hash
+//!   and sorts only the G distinct keys instead of all N records;
+//! * [`group_spans`] — adjacent grouping over sorted runs.
+//!
+//! Every kernel is pinned bit-identical to the plain stable
+//! sort-then-group path: same permutation, same spans, regardless of which
+//! fast path engages.
 
 use std::cmp::Ordering;
+use std::ops::Range;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
+use simgrid::arena::Arena;
+
+use crate::conf::JobConf;
 use crate::writable::Writable;
 
 /// A total order over keys, shareable across tasks and places.
@@ -81,56 +101,262 @@ pub fn build_raw_keys<'a, K: Writable + 'a>(
 ) -> Option<(Vec<u8>, Vec<(u32, u32)>)> {
     let mut arena: Vec<u8> = Vec::new();
     let mut spans: Vec<(u32, u32)> = Vec::new();
+    build_raw_keys_into(keys, &mut arena, &mut spans).then_some((arena, spans))
+}
+
+/// [`build_raw_keys`] into caller-provided (possibly arena-leased) buffers.
+/// Returns `false` if any key lacks a raw sort form; the buffers may then
+/// hold partial data and should be recycled or discarded.
+pub fn build_raw_keys_into<'a, K: Writable + 'a>(
+    keys: impl Iterator<Item = &'a K>,
+    arena: &mut Vec<u8>,
+    spans: &mut Vec<(u32, u32)>,
+) -> bool {
     for key in keys {
         let start = arena.len();
-        if !key.write_raw_sort_key(&mut arena) {
-            return None;
+        if !key.write_raw_sort_key(arena) {
+            return false;
         }
         spans.push((start as u32, arena.len() as u32));
     }
-    Some((arena, spans))
+    true
 }
 
-/// Below this many pairs the decoded compare wins: building the raw-key
-/// arena is a fixed cost the prefix sort cannot amortize on small runs.
-const RAW_SORT_MIN_PAIRS: usize = 4096;
+/// Default for [`SortTuning::raw_min_pairs`]: below this many pairs the
+/// decoded comparator sort wins — building the raw-key arena is a fixed
+/// cost the prefix sort cannot amortize on small runs.
+///
+/// Re-derived from the raw-path crossover table the `latency` binary
+/// writes to `bench-results/latency.json`: for byte-string keys whose
+/// first eight bytes discriminate (the shape the raw path exists for),
+/// the pipeline is ~1.1–1.3× faster than the decoded stable sort from a
+/// few hundred pairs up, and the gap widens with scale (the `bytepath`
+/// bench measures ~2× at 500k keys). Two caveats the table makes
+/// explicit: keys whose decoded compare is register-cheap (fixed-width
+/// ints) never repay the arena build at these sizes, and keys sharing a
+/// long common prefix degrade to the full-raw fallback — both are why the
+/// default keeps small runs on the decoded path and why the threshold is
+/// a per-job tunable rather than a constant. Override per job with
+/// [`crate::conf::RAW_SORT_MIN_PAIRS`] or process-wide with the
+/// `M3R_RAW_SORT_MIN_PAIRS` environment variable (read once).
+pub const RAW_SORT_MIN_PAIRS: usize = 1024;
+
+/// Default for [`SortTuning::radix_min_pairs`]: at or above this many
+/// pairs the u64-prefix LSD radix sort replaces the comparison sort of
+/// `(prefix, index)` entries. Derived from the crossover tables the
+/// `latency` bench binary writes to `bench-results/latency.json`: on the
+/// reference box the counting passes already beat `sort_unstable` at 1k
+/// pairs (~1.4× on all-distinct keys, the radix-hostile shape) and win
+/// 2.2–2.4× from 4k up when keys repeat (duplicates cost the comparison
+/// sort full raw tie-breaks the radix passes never pay). The default
+/// stays at 4k because below it the absolute win is tens of µs while the
+/// radix path's fixed costs — the histogram scan and its scatter's memory
+/// traffic — are the part that degrades most on cold caches. Override per
+/// job with [`crate::conf::RADIX_SORT_MIN_PAIRS`] or process-wide with
+/// `M3R_RADIX_SORT_MIN_PAIRS`.
+pub const RADIX_SORT_MIN_PAIRS: usize = 4096;
+
+/// Tunables for the reduce-ingest kernels. Defaults come from the measured
+/// crossovers above; the environment (once per process) and then the job's
+/// [`JobConf`] may override them — conf beats env beats default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SortTuning {
+    /// Minimum pairs before the raw-key (memcmp) sort path engages.
+    pub raw_min_pairs: usize,
+    /// Minimum pairs before the raw path's prefix sort switches from
+    /// comparison sort to LSD radix.
+    pub radix_min_pairs: usize,
+    /// Hash-grouped ingest for natural-order reduces (see
+    /// [`ingest_reduce_groups`]).
+    pub hash_group: bool,
+}
+
+impl Default for SortTuning {
+    fn default() -> Self {
+        SortTuning {
+            raw_min_pairs: RAW_SORT_MIN_PAIRS,
+            radix_min_pairs: RADIX_SORT_MIN_PAIRS,
+            hash_group: true,
+        }
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+impl SortTuning {
+    /// The process-wide tuning: defaults overridden by the
+    /// `M3R_RAW_SORT_MIN_PAIRS`, `M3R_RADIX_SORT_MIN_PAIRS` and
+    /// `M3R_HASH_GROUP` environment variables, read once (bench runners
+    /// sweep thresholds without recompiling).
+    pub fn from_env() -> Self {
+        static ENV: OnceLock<SortTuning> = OnceLock::new();
+        *ENV.get_or_init(|| {
+            let mut t = SortTuning::default();
+            if let Some(v) = env_usize("M3R_RAW_SORT_MIN_PAIRS") {
+                t.raw_min_pairs = v;
+            }
+            if let Some(v) = env_usize("M3R_RADIX_SORT_MIN_PAIRS") {
+                t.radix_min_pairs = v;
+            }
+            if let Some(v) = std::env::var("M3R_HASH_GROUP")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+            {
+                t.hash_group = v;
+            }
+            t
+        })
+    }
+
+    /// Per-job tuning: [`SortTuning::from_env`] with the job's conf knobs
+    /// ([`crate::conf::RAW_SORT_MIN_PAIRS`] and friends) applied on top.
+    pub fn for_job(conf: &JobConf) -> Self {
+        let mut t = Self::from_env();
+        if let Some(v) = conf.raw_sort_min_pairs() {
+            t.raw_min_pairs = v;
+        }
+        if let Some(v) = conf.radix_sort_min_pairs() {
+            t.radix_min_pairs = v;
+        }
+        if let Some(v) = conf.hash_group_ingest() {
+            t.hash_group = v;
+        }
+        t
+    }
+}
+
+fn lease_vec<T: Send + 'static>(arena: Option<&Arena>) -> Vec<T> {
+    arena.map(|a| a.lease::<Vec<T>>()).unwrap_or_default()
+}
+
+fn recycle_vec<T: Send + 'static>(arena: Option<&Arena>, v: Vec<T>) {
+    if let Some(a) = arena {
+        a.recycle(v);
+    }
+}
 
 /// Sort `pairs` by key under `cmp`, stably — matching Hadoop, where equal
-/// keys keep their shuffle arrival order within a partition.
+/// keys keep their shuffle arrival order within a partition. Uses the
+/// process-wide [`SortTuning::from_env`] and no scratch arena; engines call
+/// [`sort_pairs_tuned`] with per-job tuning instead.
+pub fn sort_pairs_by<K: Writable, V>(pairs: &mut [(Arc<K>, Arc<V>)], cmp: &KeyComparator<K>) {
+    sort_pairs_tuned(pairs, cmp, &SortTuning::from_env(), None);
+}
+
+/// [`sort_pairs_by`] with explicit tuning and an optional scratch [`Arena`]
+/// the transient buffers (raw-key arena, spans, permutation, radix
+/// scratch) are leased from and recycled into.
 ///
 /// When `cmp` is the natural order and the key type has a memcmp-ordered
-/// raw form, sorting runs `sort_unstable` over cached raw-key prefixes
-/// with the original index as tie-break — the exact permutation a stable
-/// comparator sort would produce, without a boxed comparator call per
-/// comparison. Custom sort/grouping comparators fall back to the decoded
-/// stable sort.
-pub fn sort_pairs_by<K: Writable, V>(pairs: &mut [(Arc<K>, Arc<V>)], cmp: &KeyComparator<K>) {
-    if cmp.is_natural() && pairs.len() >= RAW_SORT_MIN_PAIRS {
-        if let Some((arena, spans)) = build_raw_keys(pairs.iter().map(|(k, _)| &**k)) {
+/// raw form, sorting orders cached raw-key prefixes with the original
+/// index as tie-break — the exact permutation a stable comparator sort
+/// would produce, without a boxed comparator call per comparison. At or
+/// above `tuning.radix_min_pairs` the prefix ordering runs as an LSD radix
+/// sort (8-bit digits, constant-digit passes skipped) with a stable
+/// full-raw fix-up over equal-prefix runs; the permutation is identical
+/// either way. Custom sort comparators fall back to the decoded stable
+/// sort.
+pub fn sort_pairs_tuned<K: Writable, V>(
+    pairs: &mut [(Arc<K>, Arc<V>)],
+    cmp: &KeyComparator<K>,
+    tuning: &SortTuning,
+    arena: Option<&Arena>,
+) {
+    if cmp.is_natural() && pairs.len() >= tuning.raw_min_pairs {
+        let mut karena: Vec<u8> = lease_vec(arena);
+        let mut spans: Vec<(u32, u32)> = lease_vec(arena);
+        if build_raw_keys_into(pairs.iter().map(|(k, _)| &**k), &mut karena, &mut spans) {
             let raw = |i: u32| {
                 let (s, e) = spans[i as usize];
-                &arena[s as usize..e as usize]
+                &karena[s as usize..e as usize]
             };
-            // Sort (prefix, index) entries: the big-endian first-8-bytes
+            // Order (prefix, index) entries: the big-endian first-8-bytes
             // prefix resolves most comparisons in a register without
             // touching the arena. Zero-padding is safe — it can only
             // produce false *equality* (never a false order), and equal
             // prefixes fall back to the full raw form, then the original
             // index, reproducing the stable sort's permutation exactly.
-            let mut order: Vec<(u64, u32)> = (0..pairs.len() as u32)
-                .map(|i| (raw_prefix(raw(i)), i))
-                .collect();
-            order.sort_unstable_by(|a, b| {
-                a.0.cmp(&b.0)
-                    .then_with(|| raw(a.1).cmp(raw(b.1)))
-                    .then(a.1.cmp(&b.1))
-            });
-            let order: Vec<u32> = order.into_iter().map(|(_, i)| i).collect();
-            apply_permutation(pairs, &order);
+            let mut order: Vec<(u64, u32)> = lease_vec(arena);
+            order.extend((0..pairs.len() as u32).map(|i| (raw_prefix(raw(i)), i)));
+            if pairs.len() >= tuning.radix_min_pairs {
+                let mut scratch: Vec<(u64, u32)> = lease_vec(arena);
+                radix_sort_prefixes(&mut order, &mut scratch);
+                recycle_vec(arena, scratch);
+                // The radix passes are stable, so entries within an
+                // equal-prefix run still sit in ascending original index;
+                // a *stable* sort by the full raw form alone therefore
+                // yields (prefix, full raw, index) — the same order the
+                // comparison path below produces.
+                let mut i = 0;
+                while i < order.len() {
+                    let mut j = i + 1;
+                    while j < order.len() && order[j].0 == order[i].0 {
+                        j += 1;
+                    }
+                    if j - i > 1 {
+                        order[i..j].sort_by(|a, b| raw(a.1).cmp(raw(b.1)));
+                    }
+                    i = j;
+                }
+            } else {
+                order.sort_unstable_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then_with(|| raw(a.1).cmp(raw(b.1)))
+                        .then(a.1.cmp(&b.1))
+                });
+            }
+            let mut perm: Vec<u32> = lease_vec(arena);
+            perm.extend(order.iter().map(|&(_, i)| i));
+            apply_permutation(pairs, &perm);
+            recycle_vec(arena, perm);
+            recycle_vec(arena, order);
+            recycle_vec(arena, spans);
+            recycle_vec(arena, karena);
             return;
         }
+        recycle_vec(arena, spans);
+        recycle_vec(arena, karena);
     }
     pairs.sort_by(|a, b| cmp.compare(&a.0, &b.0));
+}
+
+/// LSD radix sort of `(prefix, index)` entries by the u64 prefix, least
+/// significant byte first. One scan builds all eight digit histograms;
+/// passes whose digit is constant across every entry are skipped (common
+/// for short or low-entropy keys). Counting passes are stable, so equal
+/// prefixes keep their original (index-ascending) order.
+fn radix_sort_prefixes(entries: &mut Vec<(u64, u32)>, scratch: &mut Vec<(u64, u32)>) {
+    let n = entries.len();
+    if n < 2 {
+        return;
+    }
+    let mut hist = [[0u32; 256]; 8];
+    for &(p, _) in entries.iter() {
+        for (d, h) in hist.iter_mut().enumerate() {
+            h[((p >> (8 * d)) & 0xff) as usize] += 1;
+        }
+    }
+    scratch.clear();
+    scratch.resize(n, (0u64, 0u32));
+    for (d, h) in hist.iter().enumerate() {
+        if h.iter().any(|&c| c as usize == n) {
+            continue; // every entry shares this digit
+        }
+        let mut offsets = [0u32; 256];
+        let mut sum = 0u32;
+        for (b, &c) in h.iter().enumerate() {
+            offsets[b] = sum;
+            sum += c;
+        }
+        for &(p, i) in entries.iter() {
+            let b = ((p >> (8 * d)) & 0xff) as usize;
+            scratch[offsets[b] as usize] = (p, i);
+            offsets[b] += 1;
+        }
+        std::mem::swap(entries, scratch);
+    }
 }
 
 /// The first eight bytes of `key` as a big-endian integer, zero-padded.
@@ -185,10 +411,204 @@ pub fn group_spans<K, V>(
     spans
 }
 
+/// FNV-1a over a raw key. The drain order never depends on this hash (it
+/// sorts the group representatives by raw bytes), so any function works —
+/// FNV keeps the kernel dependency-free and branch-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash-grouped reduce ingest for natural-order jobs: permute `pairs` so
+/// each distinct key's records are contiguous — groups in ascending
+/// natural key order, values in arrival order — and return the group
+/// spans. That is bit-identical to the layout of a stable sort followed by
+/// [`group_spans`], but only the G distinct keys are ever sorted: the N
+/// records are bucketed by raw-key hash (open addressing, linear probing,
+/// raw-byte equality on collision) in one pass and scattered into their
+/// final slots in a second.
+///
+/// Legality: the caller must only use this when *both* the sort and the
+/// grouping comparator are the natural order (raw-key equality == key
+/// equality == same group, and ascending raw order == the observable
+/// output order). Returns `None` when the key type has no raw sort form;
+/// the caller falls back to the sort path.
+pub fn hash_group_pairs<K: Writable, V>(
+    pairs: &mut [(Arc<K>, Arc<V>)],
+    tuning: &SortTuning,
+    arena: Option<&Arena>,
+) -> Option<Vec<Range<usize>>> {
+    let n = pairs.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut karena: Vec<u8> = lease_vec(arena);
+    let mut spans: Vec<(u32, u32)> = lease_vec(arena);
+    if !build_raw_keys_into(pairs.iter().map(|(k, _)| &**k), &mut karena, &mut spans) {
+        recycle_vec(arena, spans);
+        recycle_vec(arena, karena);
+        return None;
+    }
+    let raw = |i: u32| {
+        let (s, e) = spans[i as usize];
+        &karena[s as usize..e as usize]
+    };
+    // Slots hold `record index + 1` of a group's first record; 0 is empty.
+    let cap = (n * 2).next_power_of_two();
+    let mut table: Vec<u32> = lease_vec(arena);
+    table.resize(cap, 0);
+    let mut gid_of: Vec<u32> = lease_vec(arena); // record -> group ordinal
+    let mut firsts: Vec<u32> = lease_vec(arena); // group -> first record
+    let mut counts: Vec<u32> = lease_vec(arena); // group -> record count
+    for i in 0..n as u32 {
+        let key = raw(i);
+        let mut slot = (fnv1a(key) as usize) & (cap - 1);
+        loop {
+            let probe = table[slot];
+            if probe == 0 {
+                table[slot] = i + 1;
+                gid_of.push(firsts.len() as u32);
+                firsts.push(i);
+                counts.push(1);
+                break;
+            }
+            let first = probe - 1;
+            if raw(first) == key {
+                let g = gid_of[first as usize];
+                gid_of.push(g);
+                counts[g as usize] += 1;
+                break;
+            }
+            slot = (slot + 1) & (cap - 1);
+        }
+    }
+    let groups = firsts.len();
+    // Drain in ascending raw order of each group's first (hence every)
+    // record — the order the sorted path would emit. Representatives are
+    // ordered as cached `(prefix, gid)` entries so the common case is a
+    // register compare; the full raw form breaks prefix ties only
+    // (zero-padding can only produce false equality, and identical raw
+    // keys are by construction the same group, so no further tie-break is
+    // needed). Above the radix threshold the reps take the same LSD radix
+    // pass the raw sort path uses — only G entries wide, which is the
+    // whole advantage of grouping by hash.
+    let mut group_order: Vec<(u64, u32)> = lease_vec(arena);
+    group_order.extend((0..groups as u32).map(|g| (raw_prefix(raw(firsts[g as usize])), g)));
+    let full = |g: u32| raw(firsts[g as usize]);
+    if groups >= tuning.radix_min_pairs {
+        let mut scratch: Vec<(u64, u32)> = lease_vec(arena);
+        radix_sort_prefixes(&mut group_order, &mut scratch);
+        recycle_vec(arena, scratch);
+        let mut i = 0;
+        while i < group_order.len() {
+            let mut j = i + 1;
+            while j < group_order.len() && group_order[j].0 == group_order[i].0 {
+                j += 1;
+            }
+            if j - i > 1 {
+                group_order[i..j].sort_unstable_by(|a, b| full(a.1).cmp(full(b.1)));
+            }
+            i = j;
+        }
+    } else {
+        group_order
+            .sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| full(a.1).cmp(full(b.1))));
+    }
+    let mut offset: Vec<u32> = lease_vec(arena); // group -> next free slot
+    offset.resize(groups, 0);
+    let mut out_spans = Vec::with_capacity(groups);
+    let mut cursor = 0u32;
+    for &(_, g) in &group_order {
+        offset[g as usize] = cursor;
+        let c = counts[g as usize];
+        out_spans.push(cursor as usize..(cursor + c) as usize);
+        cursor += c;
+    }
+    // Scatter in arrival order: each group's slots fill front-to-back, so
+    // values keep their shuffle arrival order within the group — exactly
+    // what the *stable* sort guarantees.
+    let mut order: Vec<u32> = lease_vec(arena);
+    order.resize(n, 0);
+    for i in 0..n as u32 {
+        let g = gid_of[i as usize] as usize;
+        order[offset[g] as usize] = i;
+        offset[g] += 1;
+    }
+    apply_permutation(pairs, &order);
+    recycle_vec(arena, order);
+    recycle_vec(arena, offset);
+    recycle_vec(arena, group_order);
+    recycle_vec(arena, counts);
+    recycle_vec(arena, firsts);
+    recycle_vec(arena, gid_of);
+    recycle_vec(arena, table);
+    recycle_vec(arena, spans);
+    recycle_vec(arena, karena);
+    Some(out_spans)
+}
+
+/// The reduce-ingest entry point both engines share: arrange `pairs` into
+/// grouped reduce-input order and return the group spans.
+///
+/// When hash grouping is enabled and *both* comparators are the natural
+/// order — the job set no sort comparator, so the only observable order is
+/// ascending natural, and no grouping comparator, so groups are exactly
+/// key-equality classes — ingest goes through [`hash_group_pairs`].
+/// Everything else (custom comparators, keys without raw sort forms) takes
+/// the stable sort + [`group_spans`] path. Both paths produce bit-identical
+/// pair order and spans; which one runs is wall-clock-only, and the
+/// engines' simulated `Charge::Sort` is billed from the record count
+/// either way.
+pub fn ingest_reduce_groups<K: Writable, V>(
+    pairs: &mut [(Arc<K>, Arc<V>)],
+    sort_cmp: &KeyComparator<K>,
+    group_cmp: &KeyComparator<K>,
+    tuning: &SortTuning,
+    arena: Option<&Arena>,
+) -> Vec<Range<usize>> {
+    if tuning.hash_group && sort_cmp.is_natural() && group_cmp.is_natural() {
+        if let Some(spans) = hash_group_pairs(pairs, tuning, arena) {
+            return spans;
+        }
+    }
+    sort_pairs_tuned(pairs, sort_cmp, tuning, arena);
+    group_spans(pairs, group_cmp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::writable::{IntWritable, PairWritable, Text};
+    use crate::writable::{IntWritable, LongWritable, PairWritable, Text};
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    /// Tunings that force one specific path each.
+    fn radix_tuning() -> SortTuning {
+        SortTuning { raw_min_pairs: 1, radix_min_pairs: 1, hash_group: false }
+    }
+    fn comparison_tuning() -> SortTuning {
+        SortTuning { raw_min_pairs: 1, radix_min_pairs: usize::MAX, hash_group: false }
+    }
+    fn decoded_tuning() -> SortTuning {
+        SortTuning {
+            raw_min_pairs: usize::MAX,
+            radix_min_pairs: usize::MAX,
+            hash_group: false,
+        }
+    }
+
+    fn flat<K: Clone, V: Clone>(pairs: &[(Arc<K>, Arc<V>)]) -> Vec<(K, V)> {
+        pairs.iter().map(|(k, v)| ((**k).clone(), (**v).clone())).collect()
+    }
 
     fn kv(k: i32, v: &str) -> (Arc<IntWritable>, Arc<Text>) {
         (Arc::new(IntWritable(k)), Arc::new(Text::from(v)))
@@ -259,6 +679,166 @@ mod tests {
         assert_eq!(first_group, vec![3, 5, 9], "secondary order inside group");
     }
 
+    #[test]
+    fn radix_comparison_and_decoded_sorts_agree_on_longs() {
+        // Sizes straddle both default thresholds; keys carry heavy
+        // duplicates (so stability is observable through the values) and
+        // negative values (so the sign-flip raw encoding is exercised).
+        for n in [2usize, 512, 1023, 1024, 4095, 4096, 10_000] {
+            let mut seed = 0x5eed ^ n as u64;
+            let base: Vec<(Arc<LongWritable>, Arc<IntWritable>)> = (0..n)
+                .map(|i| {
+                    (
+                        Arc::new(LongWritable((lcg(&mut seed) % 97) as i64 - 48)),
+                        Arc::new(IntWritable(i as i32)),
+                    )
+                })
+                .collect();
+            let nat = KeyComparator::natural();
+            let mut radix = base.clone();
+            sort_pairs_tuned(&mut radix, &nat, &radix_tuning(), None);
+            let mut cmp = base.clone();
+            sort_pairs_tuned(&mut cmp, &nat, &comparison_tuning(), None);
+            let mut dec = base;
+            sort_pairs_tuned(&mut dec, &nat, &decoded_tuning(), None);
+            assert_eq!(flat(&radix), flat(&cmp), "radix vs comparison, n={n}");
+            assert_eq!(flat(&radix), flat(&dec), "radix vs decoded stable, n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_handles_shared_prefixes_and_variable_lengths() {
+        // Text keys whose first 8 bytes collide (radix skips every pass,
+        // the full-raw fix-up does all the work) mixed with short keys.
+        let mut seed = 77u64;
+        let base: Vec<(Arc<Text>, Arc<IntWritable>)> = (0..3000)
+            .map(|i| {
+                let k = match lcg(&mut seed) % 3 {
+                    0 => format!("sharedprefix-{:03}", lcg(&mut seed) % 40),
+                    1 => format!("{}", lcg(&mut seed) % 10),
+                    _ => String::new(), // empty key: zero-length raw form
+                };
+                (Arc::new(Text::from(k)), Arc::new(IntWritable(i)))
+            })
+            .collect();
+        let nat = KeyComparator::natural();
+        let mut radix = base.clone();
+        sort_pairs_tuned(&mut radix, &nat, &radix_tuning(), None);
+        let mut dec = base;
+        sort_pairs_tuned(&mut dec, &nat, &decoded_tuning(), None);
+        assert_eq!(flat(&radix), flat(&dec));
+    }
+
+    #[test]
+    fn hash_group_matches_sort_then_group() {
+        for n in [0usize, 1, 7, 1000, 5000] {
+            let mut seed = 31 + n as u64;
+            let base: Vec<(Arc<Text>, Arc<IntWritable>)> = (0..n)
+                .map(|i| {
+                    (
+                        Arc::new(Text::from(format!("w{:02}", lcg(&mut seed) % 60))),
+                        Arc::new(IntWritable(i as i32)),
+                    )
+                })
+                .collect();
+            let nat = KeyComparator::natural();
+            let mut hashed = base.clone();
+            let hspans = hash_group_pairs(&mut hashed, &SortTuning::default(), None)
+                .expect("Text has raw keys");
+            let mut sorted = base;
+            sort_pairs_tuned(&mut sorted, &nat, &decoded_tuning(), None);
+            let sspans = group_spans(&sorted, &nat);
+            assert_eq!(flat(&hashed), flat(&sorted), "pair layout, n={n}");
+            assert_eq!(hspans, sspans, "spans, n={n}");
+        }
+    }
+
+    #[test]
+    fn ingest_hash_and_sort_paths_are_bit_identical() {
+        let mut seed = 9u64;
+        let base: Vec<(Arc<LongWritable>, Arc<Text>)> = (0..2500)
+            .map(|i| {
+                (
+                    Arc::new(LongWritable((lcg(&mut seed) % 40) as i64 - 20)),
+                    Arc::new(Text::from(format!("v{i}"))),
+                )
+            })
+            .collect();
+        let nat = KeyComparator::<LongWritable>::natural();
+        let on = SortTuning { hash_group: true, ..SortTuning::default() };
+        let off = SortTuning { hash_group: false, ..SortTuning::default() };
+        let mut a = base.clone();
+        let sa = ingest_reduce_groups(&mut a, &nat, &nat, &on, None);
+        let mut b = base;
+        let sb = ingest_reduce_groups(&mut b, &nat, &nat, &off, None);
+        assert_eq!(flat(&a), flat(&b));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn ingest_falls_back_for_custom_comparators() {
+        // Secondary sort: group by primary only. The hash path must not
+        // engage (grouping is not natural), or groups would split.
+        type K = PairWritable<IntWritable, IntWritable>;
+        let sort = KeyComparator::<K>::natural();
+        let group = KeyComparator::<K>::new(|a: &K, b: &K| a.0.cmp(&b.0));
+        let mk = |p: i32, s: i32| {
+            (
+                Arc::new(PairWritable(IntWritable(p), IntWritable(s))),
+                Arc::new(Text::from(format!("{p}/{s}"))),
+            )
+        };
+        let mut pairs = vec![mk(1, 9), mk(2, 1), mk(1, 3), mk(2, 0), mk(1, 5)];
+        let tuning = SortTuning { hash_group: true, ..SortTuning::default() };
+        let spans = ingest_reduce_groups(&mut pairs, &sort, &group, &tuning, None);
+        assert_eq!(spans.len(), 2, "grouped by primary key only");
+        let first: Vec<i32> = pairs[spans[0].clone()].iter().map(|(k, _)| k.1 .0).collect();
+        assert_eq!(first, vec![3, 5, 9], "secondary order survives the fallback");
+    }
+
+    #[test]
+    fn ingest_with_arena_is_identical_and_recycles_scratch() {
+        let arena = simgrid::arena::Arena::new();
+        let mut seed = 123u64;
+        let base: Vec<(Arc<LongWritable>, Arc<IntWritable>)> = (0..6000)
+            .map(|i| {
+                (
+                    Arc::new(LongWritable((lcg(&mut seed) % 50) as i64)),
+                    Arc::new(IntWritable(i)),
+                )
+            })
+            .collect();
+        let nat = KeyComparator::natural();
+        let tuning = SortTuning::default();
+        let mut with = base.clone();
+        let swith = ingest_reduce_groups(&mut with, &nat, &nat, &tuning, Some(&arena));
+        let mut without = base.clone();
+        let swithout = ingest_reduce_groups(&mut without, &nat, &nat, &tuning, None);
+        assert_eq!(flat(&with), flat(&without));
+        assert_eq!(swith, swithout);
+        assert!(arena.retained_bytes() > 0, "scratch was recycled");
+        // A second run leases the warm scratch and still agrees.
+        let mut again = base;
+        let sagain = ingest_reduce_groups(&mut again, &nat, &nat, &tuning, Some(&arena));
+        assert_eq!(flat(&again), flat(&without));
+        assert_eq!(sagain, swithout);
+    }
+
+    #[test]
+    fn tuning_conf_knobs_override_defaults() {
+        let mut conf = JobConf::new();
+        conf.set_raw_sort_min_pairs(7)
+            .set_radix_sort_min_pairs(9)
+            .set_hash_group_ingest(false);
+        let t = SortTuning::for_job(&conf);
+        assert_eq!(t.raw_min_pairs, 7);
+        assert_eq!(t.radix_min_pairs, 9);
+        assert!(!t.hash_group);
+        // An empty conf inherits the process-wide defaults.
+        let d = SortTuning::for_job(&JobConf::new());
+        assert_eq!(d, SortTuning::from_env());
+    }
+
     #[cfg(test)]
     mod prop {
         use super::*;
@@ -290,6 +870,28 @@ mod tests {
                 for w in spans.windows(2) {
                     prop_assert!(pairs[w[0].start].0 .0 != pairs[w[1].start].0 .0);
                 }
+            }
+
+            #[test]
+            fn fast_paths_agree_with_stable_sort(keys in proptest::collection::vec(-30i32..30, 0..120)) {
+                let base: Vec<(Arc<IntWritable>, Arc<IntWritable>)> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(i, k)| (Arc::new(IntWritable(*k)), Arc::new(IntWritable(i as i32))))
+                    .collect();
+                let nat = KeyComparator::<IntWritable>::natural();
+                // Ground truth: the plain decoded stable sort.
+                let mut truth = base.clone();
+                truth.sort_by(|a, b| a.0.cmp(&b.0));
+                let tspans = group_spans(&truth, &nat);
+                let mut hashed = base.clone();
+                let hspans = hash_group_pairs(&mut hashed, &radix_tuning(), None)
+                    .expect("raw keys");
+                prop_assert_eq!(flat(&hashed), flat(&truth));
+                prop_assert_eq!(hspans, tspans);
+                let mut radix = base;
+                sort_pairs_tuned(&mut radix, &nat, &radix_tuning(), None);
+                prop_assert_eq!(flat(&radix), flat(&truth));
             }
         }
     }

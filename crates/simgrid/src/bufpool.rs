@@ -248,6 +248,63 @@ mod tests {
     }
 
     #[test]
+    fn reclaim_with_outstanding_clone_drops_instead_of_pooling() {
+        use crate::mem::{MemAccountant, MemClass};
+        let m = Metrics::new();
+        let mem = MemAccountant::new(1);
+        let pool = BufPool::with_accounting(m, mem.clone(), 0);
+        let mut buf = pool.get(128);
+        buf.extend_from_slice(b"still being read elsewhere");
+        let frozen = buf.freeze();
+        let reader = frozen.clone();
+        pool.reclaim(frozen); // try_into_mut fails: reader holds a ref
+        assert_eq!(pool.free_count(), 0, "shared storage must not be pooled");
+        assert_eq!(mem.live_class(0, MemClass::Pool), 0);
+        drop(reader); // last handle dropped *without* reclaim: storage is
+                      // freed by the allocator and never reaches the pool
+        assert_eq!(pool.free_count(), 0);
+        assert_eq!(mem.live_class(0, MemClass::Pool), 0);
+    }
+
+    #[test]
+    fn get_any_hands_out_largest_first() {
+        let pool = BufPool::new();
+        for cap in [64, 8192, 1024] {
+            pool.put(BytesMut::with_capacity(cap));
+        }
+        // The free list is kept sorted ascending; get_any pops the tail.
+        let first = pool.get_any(16);
+        assert!(first.capacity() >= 8192, "largest warm buffer first");
+        let second = pool.get_any(16);
+        assert!(
+            (1024..8192).contains(&second.capacity()),
+            "then the next largest, got {}",
+            second.capacity()
+        );
+    }
+
+    #[test]
+    fn get_any_on_empty_and_degenerate_lists() {
+        let m = Metrics::new();
+        let pool = BufPool::with_metrics(m.clone());
+        // Empty list: a fresh buffer sized to the request, counted a miss.
+        let fresh = pool.get_any(512);
+        assert!(fresh.capacity() >= 512);
+        assert_eq!(m.pool_misses(), 1);
+        // Degenerate list (single runt smaller than any plausible stream):
+        // get_any still hands it out — the caller grows it — and counts a
+        // hit, because the allocation that matters was avoided.
+        let mut runt = BytesMut::with_capacity(8);
+        runt.extend_from_slice(b"stale");
+        pool.put(runt);
+        let got = pool.get_any(1 << 20);
+        assert!(got.is_empty(), "recycled buffer is cleared");
+        assert!(got.capacity() < 1 << 20, "get_any never pre-grows");
+        assert_eq!(m.pool_hits(), 1);
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
     fn best_fit_and_bounded() {
         let pool = BufPool::new();
         for cap in [16, 4096, 256] {
@@ -264,5 +321,84 @@ mod tests {
         assert_eq!(pool.free_count(), 1, "the 16-byte runt is still free");
         pool.drain();
         assert_eq!(pool.free_count(), 0);
+    }
+
+    mod stats_model {
+        use super::*;
+        use crate::mem::{MemAccountant, MemClass};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Pool statistics stay consistent across arbitrary interleaved
+            /// get / get_any / freeze+reclaim / clone-then-drop / drain
+            /// cycles: the accountant's `Pool` bytes always equal the sum
+            /// of free-list capacities, the free list stays sorted and
+            /// bounded, and hits + misses equal the number of get calls.
+            #[test]
+            fn stats_consistent_across_freeze_reclaim_cycles(
+                ops in proptest::collection::vec(
+                    (0u8..5, 1usize..4096, 0usize..2048),
+                    1..120,
+                ),
+            ) {
+                let metrics = Metrics::new();
+                let mem = MemAccountant::new(1);
+                let pool = BufPool::with_accounting(metrics.clone(), mem.clone(), 0);
+                let mut outstanding: Vec<BytesMut> = Vec::new();
+                let mut gets = 0u64;
+                for (op, cap, fill) in ops {
+                    match op {
+                        0 => {
+                            // Sized request.
+                            let mut b = pool.get(cap);
+                            prop_assert!(b.capacity() >= cap);
+                            prop_assert!(b.is_empty());
+                            b.extend_from_slice(&vec![0xAB; fill.min(cap)]);
+                            outstanding.push(b);
+                            gets += 1;
+                        }
+                        1 => {
+                            // Unsized request (shuffle-stream shape).
+                            let mut b = pool.get_any(cap);
+                            prop_assert!(b.is_empty());
+                            b.extend_from_slice(&vec![0xCD; fill]);
+                            outstanding.push(b);
+                            gets += 1;
+                        }
+                        2 => {
+                            // Freeze + reclaim as the sole owner: pooled.
+                            if let Some(b) = outstanding.pop() {
+                                pool.reclaim(b.freeze());
+                            }
+                        }
+                        3 => {
+                            // Freeze with an outstanding clone alive at
+                            // reclaim time: dropped, never pooled.
+                            if let Some(b) = outstanding.pop() {
+                                let frozen = b.freeze();
+                                let reader = frozen.clone();
+                                pool.reclaim(frozen);
+                                drop(reader);
+                            }
+                        }
+                        _ => pool.drain(),
+                    }
+                    // Invariants after every step.
+                    let caps = pool.free_capacities();
+                    prop_assert!(
+                        caps.windows(2).all(|w| w[0] <= w[1]),
+                        "free list sorted ascending: {caps:?}"
+                    );
+                    prop_assert!(caps.len() <= 64, "free list bounded");
+                    let total: usize = caps.iter().sum();
+                    prop_assert_eq!(
+                        mem.live_class(0, MemClass::Pool),
+                        total as u64,
+                        "accounted Pool bytes track free-list capacity"
+                    );
+                    prop_assert_eq!(metrics.pool_hits() + metrics.pool_misses(), gets);
+                }
+            }
+        }
     }
 }

@@ -26,6 +26,7 @@
 //! trace-event exporter and a per-job text report. It is disabled by
 //! default and simulation-invisible when enabled.
 
+pub mod arena;
 pub mod bufpool;
 pub mod clock;
 pub mod cluster;
@@ -36,6 +37,7 @@ pub mod metrics;
 pub mod pool;
 pub mod trace;
 
+pub use arena::{Arena, Scratch};
 pub use bufpool::BufPool;
 pub use clock::Clock;
 pub use cluster::{Cluster, Node, NodeId};

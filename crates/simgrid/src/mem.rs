@@ -40,10 +40,18 @@ pub enum MemClass {
     /// Place/node-level combine tables absorbing map output before the
     /// shuffle streams serialize it (transient within a map phase).
     Combine,
+    /// Per-wave scratch arena retention (recycled pair vectors and raw-key
+    /// buffers parked between waves, see [`crate::arena`]). Tracked for
+    /// observability but **excluded from [`MemAccountant::live`]**: leases
+    /// move these bytes onto worker threads mid-wave, so counting them
+    /// toward the place total would make budget gates and watermarks
+    /// depend on thread schedule and break the arena's bit-identity
+    /// contract (arena on/off must not change simulated behaviour).
+    Arena,
 }
 
 impl MemClass {
-    const COUNT: usize = 4;
+    const COUNT: usize = 5;
 
     fn index(self) -> usize {
         match self {
@@ -51,6 +59,7 @@ impl MemClass {
             MemClass::Shuffle => 1,
             MemClass::Pool => 2,
             MemClass::Combine => 3,
+            MemClass::Arena => 4,
         }
     }
 
@@ -60,6 +69,7 @@ impl MemClass {
             MemClass::Shuffle => "shuffle",
             MemClass::Pool => "pool",
             MemClass::Combine => "combine",
+            MemClass::Arena => "arena",
         }
     }
 
@@ -69,6 +79,7 @@ impl MemClass {
             MemClass::Shuffle,
             MemClass::Pool,
             MemClass::Combine,
+            MemClass::Arena,
         ]
     }
 }
@@ -104,8 +115,15 @@ struct PlaceMem {
 }
 
 impl PlaceMem {
+    /// Budget-relevant live bytes: every class except [`MemClass::Arena`]
+    /// (see its doc comment — arena retention is observability-only).
     fn live(&self) -> u64 {
-        self.classes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != MemClass::Arena.index())
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -471,6 +489,19 @@ mod tests {
             "re-seeds to live combine bytes"
         );
         assert!(mem.report_section().contains("combine_hwm=100"));
+    }
+
+    #[test]
+    fn arena_bytes_are_visible_but_outside_the_budget_total() {
+        let mem = MemAccountant::new(1);
+        mem.grow(0, MemClass::Cache, 100);
+        mem.grow(0, MemClass::Arena, 4096);
+        assert_eq!(mem.live_class(0, MemClass::Arena), 4096);
+        assert_eq!(mem.live(0), 100, "arena retention is not budget-live");
+        assert_eq!(mem.high_watermark(0), 100);
+        assert!(mem.report_section().contains("arena:4096"));
+        mem.shrink(0, MemClass::Arena, 4096);
+        assert_eq!(mem.live_class(0, MemClass::Arena), 0);
     }
 
     #[test]
