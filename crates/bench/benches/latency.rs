@@ -12,6 +12,8 @@
 //!   group-span scan
 //! - `latency_bulk`    — comparison vs radix prefix sort, sort+scan vs
 //!   hash-grouped ingest at 2× RADIX_SORT_MIN_PAIRS
+//! - `latency_server`  — submit→resolve round trip for a no-op job on a
+//!   warm 1-worker server (the server-path tier)
 
 use std::sync::Arc;
 
@@ -25,10 +27,11 @@ use hmr_api::HPath;
 use kvstore::{BlockData, KPath, KvStore};
 use m3r_bench::latency::{
     comparison_tuning, decoded_tuning, hash_ingest_tuning, int_pairs, radix_tuning, small_seq,
-    sort_ingest_tuning, ABOVE_RAW, BELOW_RAW, BULK,
+    sort_ingest_tuning, NoopEngine, ABOVE_RAW, BELOW_RAW, BULK,
 };
 use m3r::shuffle::ShuffleStream;
 use m3r::KvCache;
+use m3r_server::{JobServer, ServerOptions};
 use simgrid::BufPool;
 use x10rt::serialize::{DedupMode, Serializer};
 
@@ -188,11 +191,43 @@ fn bench_bulk_tiers(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_server_tier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_server");
+    // One warm server for the whole group: criterion controls the batch
+    // sizes, and the conflict-DAG scan over resolved entries is a branch
+    // per prior submit — cheap at criterion's sample counts, but keep the
+    // measurement time short so the entry map stays small.
+    g.sample_size(20);
+    let server = JobServer::with_options(
+        NoopEngine::new(),
+        ServerOptions { workers: 1, ..Default::default() },
+    );
+    let client = server.client();
+    let job = m3r_bench::servermix::id_job();
+    let conf = hmr_api::conf::JobConf::new();
+    client.submit(Arc::clone(&job), &conf).unwrap().wait().unwrap();
+    g.bench_function("server.submit.resolve.noop", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .submit(Arc::clone(&job), &conf)
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+                    .output_records,
+            )
+        })
+    });
+    g.finish();
+    server.shutdown();
+}
+
 criterion_group!(
     benches,
     bench_store_tiers,
     bench_buffer_tiers,
     bench_sort_tiers,
-    bench_bulk_tiers
+    bench_bulk_tiers,
+    bench_server_tier
 );
 criterion_main!(benches);

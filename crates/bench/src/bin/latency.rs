@@ -32,11 +32,13 @@ use hmr_api::HPath;
 use kvstore::{BlockData, KPath, KvStore};
 use m3r_bench::latency::{
     comparison_tuning, decoded_tuning, distinct_int_pairs, hash_ingest_tuning, int_pairs,
-    radix_tuning, small_seq, sort_ingest_tuning, spec, text_pairs, ABOVE_RAW, BELOW_RAW, BULK,
+    radix_tuning, small_seq, sort_ingest_tuning, spec, text_pairs, NoopEngine, ABOVE_RAW,
+    BELOW_RAW, BULK,
 };
 use m3r_bench::{write_bench_file, BenchReport};
 use m3r::shuffle::ShuffleStream;
 use m3r::KvCache;
+use m3r_server::{JobServer, ServerOptions};
 use simgrid::BufPool;
 use x10rt::serialize::{DedupMode, Serializer};
 
@@ -195,6 +197,37 @@ fn measure_all(e: &Effort) -> Vec<Row> {
             }
             let d = t0.elapsed();
             std::hint::black_box(stream.len());
+            d
+        }),
+    );
+
+    // -- server submit->resolve round trip (no-op job) ----------------------
+    // Fresh server per sample with a bounded op count: the conflict-DAG
+    // scan at admission touches every prior entry (resolved entries cost a
+    // branch each), so an unbounded loop would measure O(n²) bookkeeping,
+    // not the round trip.
+    let server_ops: u64 = 256;
+    let server_samples = if e.smoke { 6 } else { 20 };
+    row(
+        "server.submit.resolve.noop",
+        min_ns_batched(server_samples, server_ops, |iters| {
+            let server = JobServer::with_options(
+                NoopEngine::new(),
+                ServerOptions { workers: 1, ..Default::default() },
+            );
+            let client = server.client();
+            // The job body never runs anything (NoopEngine) — any JobDef
+            // works; an empty conf means an empty footprint, no conflicts.
+            let job = m3r_bench::servermix::id_job();
+            let conf = hmr_api::conf::JobConf::new();
+            // Warm the worker thread and the lane path before timing.
+            client.submit(Arc::clone(&job), &conf).unwrap().wait().unwrap();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                client.submit(Arc::clone(&job), &conf).unwrap().wait().unwrap();
+            }
+            let d = t0.elapsed();
+            server.shutdown();
             d
         }),
     );

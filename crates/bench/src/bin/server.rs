@@ -1,8 +1,8 @@
 //! Multi-tenant job-server bench: many clients submitting a seeded mix of
 //! independent, chained (dependent) and shared-input (conflicting) jobs
-//! through the async ticket API.
+//! through the async ticket API (mix defined in [`m3r_bench::servermix`]).
 //!
-//! Two questions, one run each:
+//! Three questions, one run each:
 //!
 //! * **Does concurrency pay?** A worker sweep (1/2/4/8 dispatch workers)
 //!   over the identical 48-job mix reports wall-clock makespan. More
@@ -14,6 +14,11 @@
 //!   latency percentiles (p50/p95/p99) at 8 workers. Chained and
 //!   shared-input jobs queue behind their conflict edges, so the tail
 //!   percentiles show DAG waiting, not server overhead.
+//! * **Where does the time go?** The flight recorder's per-client
+//!   attribution at 8 workers: conflict-DAG wait vs worker-queue wait vs
+//!   lane run vs fold delay — the four buckets sum exactly to each
+//!   ticket's submit→resolve time (`m3r-bench --bin serverobs` digs
+//!   deeper, per ticket).
 //!
 //! Writes `bench-results/server.txt` and `bench-results/server.json`
 //! (tables, via [`BenchReport`]). The job mix is seeded per client and
@@ -23,81 +28,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use hmr_api::conf::JobConf;
-use hmr_api::io::seqfile::write_seq_file;
-use hmr_api::partition::HashPartitioner;
-use hmr_api::writable::{IntWritable, Text};
-use hmr_api::HPath;
-use m3r::{M3REngine, RepartitionJob};
+use m3r::M3REngine;
+use m3r_bench::servermix::{conf, gen_all_inputs, id_job, job_mix, submission_plan, Kind};
+use m3r_bench::servermix::{CLIENTS, JOBS_PER_CLIENT, NODES};
 use m3r_bench::{fresh, secs, write_bench_file, BenchReport};
-use m3r_server::{JobServer, JobTicket, ServerOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use simdfs::SimDfs;
-
-const NODES: usize = 8;
-const CLIENTS: usize = 6;
-const JOBS_PER_CLIENT: usize = 8;
-const RECORDS: i32 = 400;
-const REDUCERS: usize = 4;
-const MIX_SEED: u64 = 42;
-
-#[derive(Clone, Copy, Debug)]
-enum Kind {
-    /// Reads the client's private base input — no conflict edges.
-    Independent,
-    /// Reads the client's previous output — a dependency chain.
-    Chained,
-    /// Reads the shared dataset — a read conflict across clients.
-    Shared,
-}
-
-/// The seeded per-client job mix: ~55% independent, ~25% chained, ~20%
-/// shared. Job 0 of every client is always independent (nothing to chain
-/// to yet).
-fn job_mix() -> Vec<Vec<Kind>> {
-    (0..CLIENTS)
-        .map(|c| {
-            let mut rng = StdRng::seed_from_u64(MIX_SEED + c as u64);
-            (0..JOBS_PER_CLIENT)
-                .map(|j| {
-                    let roll: u32 = rng.gen_range(0u32..100);
-                    if j == 0 || roll < 55 {
-                        Kind::Independent
-                    } else if roll < 80 {
-                        Kind::Chained
-                    } else {
-                        Kind::Shared
-                    }
-                })
-                .collect()
-        })
-        .collect()
-}
-
-fn gen_input(fs: &SimDfs, dir: &str, salt: i32) {
-    let records: Vec<(IntWritable, Text)> = (0..RECORDS)
-        .map(|i| {
-            (
-                IntWritable(i),
-                Text::from(format!("{salt:04}-{i:06}-{}", "x".repeat(48))),
-            )
-        })
-        .collect();
-    write_seq_file(fs, &HPath::new(format!("{dir}/part-00000")), &records).unwrap();
-}
-
-fn id_job() -> Arc<RepartitionJob<IntWritable, Text>> {
-    Arc::new(RepartitionJob::new(|| Box::new(HashPartitioner)))
-}
-
-fn conf(input: &str, output: &str) -> JobConf {
-    let mut c = JobConf::new();
-    c.add_input_path(&HPath::new(input));
-    c.set_output_path(&HPath::new(output));
-    c.set_num_reduce_tasks(REDUCERS);
-    c
-}
+use m3r_server::{JobServer, JobTicket, ServerOptions, ServerRollup};
 
 struct ClientStats {
     /// Submit→resolve wall-clock per job, milliseconds, sorted ascending.
@@ -109,41 +44,29 @@ struct RunStats {
     wall_ms: f64,
     home_sim_seconds: f64,
     per_client: Vec<ClientStats>,
+    rollup: ServerRollup,
 }
 
 fn run(workers: usize, mix: &[Vec<Kind>]) -> RunStats {
     let (cluster, fs) = fresh(NODES, 0.0);
-    for c in 0..CLIENTS {
-        gen_input(&fs, &format!("/c{c}/in"), c as i32);
-    }
-    gen_input(&fs, "/shared", 999);
+    gen_all_inputs(&fs);
 
     let server = JobServer::with_options(
         M3REngine::new(cluster.clone(), Arc::new(fs)),
-        ServerOptions { workers },
+        ServerOptions { workers, ..Default::default() },
     );
     let t0 = Instant::now();
 
     // Fixed round-robin submission order: admission (and therefore the
     // conflict DAG and the fold order) is identical for every sweep row.
-    let mut last_out: Vec<String> = (0..CLIENTS).map(|c| format!("/c{c}/in")).collect();
     let mut tickets: Vec<(usize, Instant, JobTicket)> = Vec::new();
-    for j in 0..JOBS_PER_CLIENT {
-        for (c, kinds) in mix.iter().enumerate() {
-            let input = match kinds[j] {
-                Kind::Independent => format!("/c{c}/in"),
-                Kind::Chained => last_out[c].clone(),
-                Kind::Shared => "/shared".to_string(),
-            };
-            let output = format!("/c{c}/job{j}");
-            let submitted = Instant::now();
-            let ticket = server
-                .client_as(&format!("client-{c}"))
-                .submit(id_job(), &conf(&input, &output))
-                .unwrap();
-            last_out[c] = output;
-            tickets.push((c, submitted, ticket));
-        }
+    for (c, input, output) in submission_plan(mix) {
+        let submitted = Instant::now();
+        let ticket = server
+            .client_as(&format!("client-{c}"))
+            .submit(id_job(), &conf(&input, &output))
+            .unwrap();
+        tickets.push((c, submitted, ticket));
     }
 
     // One waiter per ticket so each resolution is timestamped promptly,
@@ -162,6 +85,9 @@ fn run(workers: usize, mix: &[Vec<Kind>]) -> RunStats {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // SLO threshold for the attribution table: 50 ms is generous for this
+    // in-memory mix, so breaches flag genuine DAG pileups.
+    let rollup = server.rollup(50_000_000);
     server.shutdown();
 
     let mut per_client: Vec<ClientStats> = (0..CLIENTS)
@@ -181,6 +107,7 @@ fn run(workers: usize, mix: &[Vec<Kind>]) -> RunStats {
         wall_ms,
         home_sim_seconds: cluster.max_time(),
         per_client,
+        rollup,
     }
 }
 
@@ -241,6 +168,32 @@ fn main() {
         crows.clone(),
     );
     push_txt(&mut txt, "per-client latency", &crows);
+
+    // -- flight-recorder attribution at the widest setting ------------------
+    let mut arows = Vec::new();
+    for cs in &widest.rollup.clients {
+        arows.push(vec![
+            cs.client.clone(),
+            ms(cs.conflict_wait_ns as f64 / 1e6),
+            ms(cs.queue_wait_ns as f64 / 1e6),
+            ms(cs.lane_run_ns as f64 / 1e6),
+            ms(cs.fold_delay_ns as f64 / 1e6),
+            cs.slo_breaches.to_string(),
+        ]);
+    }
+    report.table(
+        &format!("per-client latency attribution at {workers} workers (summed, SLO 50ms)"),
+        &[
+            "client",
+            "conflict_wait_ms",
+            "queue_wait_ms",
+            "lane_run_ms",
+            "fold_delay_ms",
+            "slo_breaches",
+        ],
+        arows.clone(),
+    );
+    push_txt(&mut txt, "per-client attribution", &arows);
 
     let txt_path = write_bench_file("server.txt", &txt).expect("write server.txt");
     println!("wrote {}", txt_path.display());

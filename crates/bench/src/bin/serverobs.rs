@@ -1,0 +1,203 @@
+//! Server observability report: run the seeded 6-client mix once and dump
+//! everything the flight recorder saw.
+//!
+//! Four tables (text + JSON via [`BenchReport`]):
+//!
+//! * **per-ticket timeline** — every ticket's four attribution buckets
+//!   (conflict-DAG wait, worker-queue wait, lane run, fold delay) in
+//!   microseconds, which sum *exactly* to its submit→resolve time
+//!   (asserted here per ticket), plus lane, conflict edges and the lane's
+//!   deterministic simulated seconds;
+//! * **per-client SLO** — p50/p95/p99 submit→resolve latency and breach
+//!   counts against a 50 ms SLO;
+//! * **per-lane utilization** — jobs, busy wall time and occupancy per
+//!   dispatch lane;
+//! * **summary** — jobs, wall time, admission-lock hold, folded sim
+//!   seconds and their bit pattern.
+//!
+//! Side artifacts:
+//!
+//! * `bench-results/trace-serverobs.json` — the merged Chrome trace: sim-µs
+//!   place tracks (pid 0) plus wall-clock server tracks (pid 1, one per
+//!   lane and one per client) with submit→dispatch flow arrows. Open in
+//!   `chrome://tracing` / Perfetto.
+//! * `bench-results/serverobs.prom` — the home cluster's telemetry
+//!   registry (memory watermarks, cache residency, server counters and
+//!   latency histograms) as Prometheus text.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use m3r::M3REngine;
+use m3r_bench::servermix::{conf, gen_all_inputs, id_job, job_mix, submission_plan};
+use m3r_bench::servermix::{CLIENTS, JOBS_PER_CLIENT, NODES};
+use m3r_bench::{fresh, secs, write_bench_file, BenchReport};
+use m3r_server::{JobServer, ServerOptions};
+
+const WORKERS: usize = 4;
+const SLO_NS: u64 = 50_000_000; // 50 ms
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+fn main() {
+    let mix = job_mix();
+    let (cluster, fs) = fresh(NODES, 0.0);
+    gen_all_inputs(&fs);
+    cluster.trace().enable();
+
+    let server = JobServer::with_options(
+        M3REngine::new(cluster.clone(), Arc::new(fs)),
+        ServerOptions { workers: WORKERS, ..Default::default() },
+    );
+    let t0 = Instant::now();
+    let tickets: Vec<_> = submission_plan(&mix)
+        .into_iter()
+        .map(|(c, input, output)| {
+            server
+                .client_as(&format!("client-{c}"))
+                .submit(id_job(), &conf(&input, &output))
+                .unwrap()
+        })
+        .collect();
+    for t in &tickets {
+        t.wait().expect("mix job failed");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let recorder = server.flight_recorder();
+    let rollup = server.rollup(SLO_NS);
+    let engine = server.shutdown();
+    let home_sim = cluster.max_time();
+
+    let mut report = BenchReport::new("serverobs");
+    let mut txt = String::new();
+
+    // -- per-ticket timeline ------------------------------------------------
+    let traces = recorder.traces();
+    let mut trows = Vec::new();
+    for t in &traces {
+        // The acceptance invariant: the four buckets telescope to the
+        // measured total, exactly, in integer nanoseconds.
+        assert_eq!(
+            t.conflict_wait_ns() + t.queue_wait_ns() + t.lane_run_ns() + t.fold_delay_ns(),
+            t.total_ns(),
+            "attribution must sum to submit→resolve for seq {}",
+            t.seq
+        );
+        trows.push(vec![
+            t.seq.to_string(),
+            t.client.clone(),
+            t.lane.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            t.deps.to_string(),
+            t.status.to_string(),
+            us(t.conflict_wait_ns()),
+            us(t.queue_wait_ns()),
+            us(t.lane_run_ns()),
+            us(t.fold_delay_ns()),
+            us(t.total_ns()),
+            secs(t.lane_sim_seconds),
+        ]);
+    }
+    report.table(
+        &format!("per-ticket timeline ({WORKERS} workers; buckets sum exactly to total)"),
+        &[
+            "seq",
+            "client",
+            "lane",
+            "deps",
+            "status",
+            "conflict_wait_us",
+            "queue_wait_us",
+            "lane_run_us",
+            "fold_delay_us",
+            "total_us",
+            "lane_sim_seconds",
+        ],
+        trows.clone(),
+    );
+    push_txt(&mut txt, "per-ticket timeline", &trows);
+
+    // -- per-client SLO -----------------------------------------------------
+    let mut crows = Vec::new();
+    for cs in &rollup.clients {
+        crows.push(vec![
+            cs.client.clone(),
+            cs.jobs.to_string(),
+            ms(cs.p50_ns),
+            ms(cs.p95_ns),
+            ms(cs.p99_ns),
+            ms(cs.max_ns),
+            cs.slo_breaches.to_string(),
+        ]);
+    }
+    report.table(
+        &format!("per-client submit->resolve latency (SLO {} ms)", SLO_NS / 1_000_000),
+        &["client", "jobs", "p50_ms", "p95_ms", "p99_ms", "max_ms", "slo_breaches"],
+        crows.clone(),
+    );
+    push_txt(&mut txt, "per-client slo", &crows);
+
+    // -- per-lane utilization -----------------------------------------------
+    let mut lrows = Vec::new();
+    for l in &rollup.lanes {
+        lrows.push(vec![
+            l.lane.to_string(),
+            l.jobs.to_string(),
+            ms(l.busy_ns),
+            format!("{:.4}", l.utilization),
+        ]);
+    }
+    report.table(
+        "per-lane utilization",
+        &["lane", "jobs", "busy_ms", "utilization"],
+        lrows.clone(),
+    );
+    push_txt(&mut txt, "per-lane utilization", &lrows);
+
+    // -- summary ------------------------------------------------------------
+    let srows = vec![vec![
+        (CLIENTS * JOBS_PER_CLIENT).to_string(),
+        format!("{wall_ms:.2}"),
+        ms(rollup.admission_hold_ns),
+        secs(home_sim),
+        home_sim.to_bits().to_string(),
+    ]];
+    report.table(
+        "summary",
+        &["jobs", "wall_ms", "admission_hold_ms", "sim_seconds", "sim_bits"],
+        srows.clone(),
+    );
+    push_txt(&mut txt, "summary", &srows);
+
+    // -- side artifacts -----------------------------------------------------
+    let chrome = cluster.trace().chrome_json_with(&recorder.chrome_events());
+    let trace_path =
+        write_bench_file("trace-serverobs.json", &chrome).expect("write trace-serverobs.json");
+    println!("wrote {}", trace_path.display());
+
+    let prom = cluster.telemetry().prometheus_text();
+    let prom_path = write_bench_file("serverobs.prom", &prom).expect("write serverobs.prom");
+    println!("wrote {}", prom_path.display());
+
+    let txt_path = write_bench_file("serverobs.txt", &txt).expect("write serverobs.txt");
+    println!("wrote {}", txt_path.display());
+    report.finish().expect("write serverobs.json");
+
+    // Engine returned warm, cache intact — same shutdown story as the
+    // server bench; dropping it here ends the run.
+    drop(engine);
+}
+
+fn push_txt(txt: &mut String, title: &str, rows: &[Vec<String>]) {
+    txt.push_str(&format!("# {title}\n"));
+    for row in rows {
+        txt.push_str(&row.join(","));
+        txt.push('\n');
+    }
+}

@@ -23,8 +23,13 @@
 use std::sync::Arc;
 
 use hmr_api::comparator::{SortTuning, RADIX_SORT_MIN_PAIRS, RAW_SORT_MIN_PAIRS};
+use hmr_api::conf::JobConf;
+use hmr_api::counters::Counters;
+use hmr_api::error::Result;
+use hmr_api::job::{Engine, JobDef, JobResult, LaneEngine};
 use hmr_api::writable::{IntWritable, Text};
 use m3r::CachedSeq;
+use simgrid::{Cluster, CostModel};
 
 /// Pair count just *below* [`RAW_SORT_MIN_PAIRS`]: the decoded-comparator
 /// sort regime.
@@ -152,6 +157,65 @@ pub fn hash_ingest_tuning() -> SortTuning {
     }
 }
 
+/// A [`LaneEngine`] whose jobs do nothing: the fixture for the
+/// `server.submit.resolve.noop` tier, which isolates the *server path*
+/// (admission lock, conflict-DAG insert, condvar handoff to a worker,
+/// lane creation, fold, ticket resolution) from any job cost.
+pub struct NoopEngine {
+    home: Cluster,
+}
+
+impl NoopEngine {
+    /// A noop engine over a fresh single-place cluster.
+    pub fn new() -> Self {
+        NoopEngine {
+            home: Cluster::new(1, CostModel::default()),
+        }
+    }
+}
+
+impl Default for NoopEngine {
+    fn default() -> Self {
+        NoopEngine::new()
+    }
+}
+
+impl Engine for NoopEngine {
+    fn engine_name(&self) -> &'static str {
+        "noop"
+    }
+
+    fn run_job<J: JobDef>(&mut self, _job: Arc<J>, _conf: &JobConf) -> Result<JobResult> {
+        Ok(JobResult {
+            sim_time: 0.0,
+            counters: Counters::new(),
+            metrics: Default::default(),
+            output_records: 0,
+        })
+    }
+}
+
+impl LaneEngine for NoopEngine {
+    fn home(&self) -> &Cluster {
+        &self.home
+    }
+
+    fn run_lane<J: JobDef>(
+        &self,
+        _lane: &Cluster,
+        _seq: u64,
+        _job: Arc<J>,
+        _conf: &JobConf,
+    ) -> Result<JobResult> {
+        Ok(JobResult {
+            sim_time: 0.0,
+            counters: Counters::new(),
+            metrics: Default::default(),
+            output_records: 0,
+        })
+    }
+}
+
 /// One row of the latency budget table.
 pub struct TierSpec {
     /// Tier name (row key in `bench-results/latency.json`).
@@ -219,6 +283,18 @@ pub const SPECS: &[TierSpec] = &[
         explanation: "ShuffleStream push of one record: partition tag + \
                       dedup-table probe (Full mode, first sight of each \
                       Arc) + the two writable encodes",
+    },
+    TierSpec {
+        name: "server.submit.resolve.noop",
+        budget_ns: 1_000_000.0,
+        must_beat: None,
+        explanation: "submit->wait round trip for a no-op job on a warm \
+                      1-worker server: admission lock + conflict-DAG scan, \
+                      condvar handoff to the dispatch worker, job-lane \
+                      creation, the (empty) body, fold bookkeeping and \
+                      ticket resolution waking the waiter — two thread \
+                      handoffs dominate; the flight recorder's stamps ride \
+                      along and must stay invisible at this scale",
     },
     TierSpec {
         name: "sort_decoded_512",

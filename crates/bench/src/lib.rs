@@ -21,6 +21,7 @@
 //! component.
 
 pub mod latency;
+pub mod servermix;
 
 use simdfs::SimDfs;
 use simgrid::{Cluster, CostModel};

@@ -186,6 +186,10 @@ impl M3REngine {
             }
             None => KvCache::new(places),
         };
+        // The cache's governor gauges are pull-based callbacks: registering
+        // them here is free at runtime and makes the cluster's telemetry
+        // registry answer for per-tenant residency from engine birth.
+        cache.publish_telemetry(cluster.telemetry());
         let pools = (0..places)
             .map(|place| {
                 Arc::new(match &opts.memory {

@@ -24,20 +24,31 @@
 //!   so simulated seconds, metrics and outputs are **bit-identical** to a
 //!   serialized schedule regardless of worker count;
 //! * per-client cache quotas plug into the governed cache: over-quota
-//!   tenants are evicted first.
+//!   tenants are evicted first;
+//! * a [`FlightRecorder`] stamps every ticket's lifecycle
+//!   (`submitted → ready → dispatched → lane-done → resolved`) in wall
+//!   nanoseconds, attributes the latency exactly across conflict-wait /
+//!   queue-wait / lane-run / fold-delay, rolls the traces up into
+//!   per-client percentiles with SLO breach counts and per-lane
+//!   utilization ([`ServerRollup`]), publishes into the home cluster's
+//!   [`simgrid::telemetry::TelemetryRegistry`], and renders wall-clock
+//!   lane tracks with submit→dispatch flow arrows for the Chrome trace
+//!   viewer — all without perturbing a single simulated bit.
 //!
 //! The generic [`JobServer`] works over any [`hmr_api::job::LaneEngine`];
 //! [`M3RServer`]/[`M3RClient`] are the M3R-engine aliases matching the old
 //! blocking API's names. The old blocking call survives as the deprecated
 //! [`Client::run_job`] shim.
 
+pub mod flight;
 pub mod scheduler;
 pub mod submit;
 pub mod ticket;
 
+pub use flight::{ClientStat, FlightRecorder, LaneStat, ServerRollup, TicketTrace};
 pub use scheduler::{JobServer, ServerOptions};
 pub use submit::{Client, SubmissionBuilder};
-pub use ticket::{JobStatus, JobTicket};
+pub use ticket::{JobStatus, JobTicket, WaitOutcome};
 
 /// The job server specialized to the M3R engine (the daemon of §5.3).
 pub type M3RServer = JobServer<m3r::M3REngine>;

@@ -33,6 +33,7 @@ use parking_lot::{Condvar, Mutex};
 use simgrid::metrics::MetricsSnapshot;
 use simgrid::Cluster;
 
+use crate::flight::FlightRecorder;
 use crate::submit::Client;
 use crate::ticket::{JobStatus, TicketInner};
 
@@ -46,11 +47,19 @@ pub struct ServerOptions {
     /// Dispatch workers — the maximum number of jobs in flight at once.
     /// Totals are bit-identical for any value ≥ 1 (see module docs).
     pub workers: usize,
+    /// Record the per-ticket flight timeline and lane telemetry
+    /// ([`FlightRecorder`]). Observability only — simulated seconds,
+    /// metrics and outputs are bit-identical either way (pinned by
+    /// `tests/serverobs.rs`). Default on.
+    pub flight: bool,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
-        ServerOptions { workers: 4 }
+        ServerOptions {
+            workers: 4,
+            flight: true,
+        }
     }
 }
 
@@ -106,6 +115,10 @@ pub(crate) struct SchedState<E> {
 pub(crate) struct Shared<E> {
     pub(crate) state: Mutex<SchedState<E>>,
     pub(crate) cv: Condvar,
+    /// The flight recorder (inert when `ServerOptions::flight` is off).
+    /// Lives outside the state mutex: its own lock nests strictly inside
+    /// the scheduler lock and is never held across a wait.
+    pub(crate) flight: FlightRecorder,
 }
 
 /// The job server: owns an engine, serves ticket submissions from any
@@ -136,6 +149,8 @@ impl<E: LaneEngine + Send + Sync + 'static> JobServer<E> {
         assert!(opts.workers >= 1, "a server needs at least one worker");
         let engine = Arc::new(engine);
         let home = engine.home().clone();
+        let flight = FlightRecorder::new(opts.workers, opts.flight);
+        flight.publish_telemetry(home.telemetry());
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
                 home,
@@ -147,6 +162,7 @@ impl<E: LaneEngine + Send + Sync + 'static> JobServer<E> {
                 stop: false,
             }),
             cv: Condvar::new(),
+            flight,
         });
         let canceller = {
             let shared = Arc::clone(&shared);
@@ -154,6 +170,7 @@ impl<E: LaneEngine + Send + Sync + 'static> JobServer<E> {
                 let mut st = shared.state.lock();
                 let cancelled = cancel_entry(
                     &mut st,
+                    &shared.flight,
                     seq,
                     JobStatus::Cancelled,
                     HmrError::Cancelled(format!("job {seq} cancelled by its ticket")),
@@ -171,7 +188,7 @@ impl<E: LaneEngine + Send + Sync + 'static> JobServer<E> {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("m3r-server-{i}"))
-                    .spawn(move || worker_loop(engine, shared))
+                    .spawn(move || worker_loop(engine, shared, i))
                     .expect("spawn server worker")
             })
             .collect();
@@ -198,6 +215,20 @@ impl<E: LaneEngine + Send + Sync + 'static> JobServer<E> {
             Arc::clone(&self.shared),
             Arc::clone(&self.canceller),
         )
+    }
+
+    /// The server's flight recorder (inert when started with
+    /// `flight: false`). Clone it before `shutdown` to keep the timelines
+    /// past the server's life.
+    pub fn flight_recorder(&self) -> FlightRecorder {
+        self.shared.flight.clone()
+    }
+
+    /// Aggregate the recorder into per-client and per-lane tables,
+    /// counting SLO breaches against `slo_ns` — see
+    /// [`crate::flight::ServerRollup`].
+    pub fn rollup(&self, slo_ns: u64) -> crate::flight::ServerRollup {
+        self.shared.flight.rollup(slo_ns)
     }
 
     /// Stop accepting submissions, **drain** every in-flight ticket
@@ -232,6 +263,7 @@ impl<E: LaneEngine + Send + Sync + 'static> JobServer<E> {
                 for seq in queued {
                     cancel_entry(
                         &mut st,
+                        &self.shared.flight,
                         seq,
                         JobStatus::Cancelled,
                         HmrError::ServerShutdown(format!(
@@ -287,7 +319,8 @@ pub(crate) fn footprints_overlap(a: &[HPath], b: &[HPath]) -> bool {
         .any(|pa| b.iter().any(|pb| pa.starts_with(pb) || pb.starts_with(pa)))
 }
 
-/// Insert a fully-formed entry (submit-time, state lock held).
+/// Insert a fully-formed entry (submit-time, state lock held). Returns
+/// the number of conflict-DAG edges the job was admitted with.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn admit<E>(
     st: &mut SchedState<E>,
@@ -298,7 +331,7 @@ pub(crate) fn admit<E>(
     explicit_deps: &[u64],
     run: RunFn<E>,
     ticket: Arc<TicketInner>,
-) {
+) -> usize {
     let mut deps: HashSet<u64> = HashSet::new();
     for (&oseq, other) in st.entries.iter() {
         if other.resolved() {
@@ -315,6 +348,7 @@ pub(crate) fn admit<E>(
             .dependents
             .push(seq);
     }
+    let n_deps = deps.len();
     st.entries.insert(
         seq,
         Entry {
@@ -331,6 +365,7 @@ pub(crate) fn admit<E>(
             folded: false,
         },
     );
+    n_deps
 }
 
 /// Pick the next dispatchable job: ready (queued, no outstanding deps),
@@ -351,6 +386,7 @@ fn pick_ready<E>(st: &SchedState<E>, exclusive: bool) -> Option<u64> {
 /// dependents, and fold any completed lanes in admission order.
 fn finish_entry<E>(
     st: &mut SchedState<E>,
+    rec: &FlightRecorder,
     seq: u64,
     result: Result<JobResult>,
     fold: Option<(f64, MetricsSnapshot)>,
@@ -363,9 +399,12 @@ fn finish_entry<E>(
     } else {
         JobStatus::Failed
     };
+    // Record before waking waiters: a client that returns from `wait()`
+    // and immediately asks for a rollup must already see this ticket.
+    rec.record_resolved(seq, status);
     e.ticket.resolve(status, result);
-    release_dependents(st, seq);
-    advance_fold(st);
+    release_dependents(st, rec, seq);
+    advance_fold(st, rec);
 }
 
 /// Cancel a queued `seq` (state lock held). Returns false when the job
@@ -374,6 +413,7 @@ fn finish_entry<E>(
 /// input), exactly as in a serialized schedule.
 fn cancel_entry<E>(
     st: &mut SchedState<E>,
+    rec: &FlightRecorder,
     seq: u64,
     status: JobStatus,
     err: HmrError,
@@ -386,13 +426,14 @@ fn cancel_entry<E>(
     }
     e.state = EntryState::Cancelled;
     e.run = None;
+    rec.record_resolved(seq, status);
     e.ticket.resolve(status, Err(err));
-    release_dependents(st, seq);
-    advance_fold(st);
+    release_dependents(st, rec, seq);
+    advance_fold(st, rec);
     true
 }
 
-fn release_dependents<E>(st: &mut SchedState<E>, seq: u64) {
+fn release_dependents<E>(st: &mut SchedState<E>, rec: &FlightRecorder, seq: u64) {
     let dependents = std::mem::take(
         &mut st
             .entries
@@ -403,6 +444,11 @@ fn release_dependents<E>(st: &mut SchedState<E>, seq: u64) {
     for d in dependents {
         if let Some(dep) = st.entries.get_mut(&d) {
             dep.deps.remove(&seq);
+            if dep.deps.is_empty() {
+                // Last conflict edge cleared: the job is ready now; any
+                // further delay is worker-queue wait, not DAG wait.
+                rec.record_ready(d);
+            }
         }
     }
 }
@@ -411,7 +457,7 @@ fn release_dependents<E>(st: &mut SchedState<E>, seq: u64) {
 /// advance every home clock uniformly by the lane's duration (serialized
 /// jobs end clock-aligned, so this reproduces their clocks exactly) and
 /// absorb the lane's metrics. Cancelled jobs fold as zero.
-fn advance_fold<E>(st: &mut SchedState<E>) {
+fn advance_fold<E>(st: &mut SchedState<E>, rec: &FlightRecorder) {
     loop {
         let Some(e) = st.entries.get_mut(&st.next_fold) else {
             return;
@@ -419,18 +465,28 @@ fn advance_fold<E>(st: &mut SchedState<E>) {
         if !e.resolved() {
             return;
         }
-        if let Some((dt, snap)) = e.fold.take() {
+        let seq = e.seq;
+        let fold = e.fold.take();
+        e.folded = true;
+        st.next_fold += 1;
+        let home_before = st.home.max_time();
+        if let Some((dt, snap)) = fold {
             for node in st.home.nodes() {
                 node.clock().advance(dt);
             }
             st.home.metrics().absorb(&snap);
         }
-        e.folded = true;
-        st.next_fold += 1;
+        // The home clocks are deterministic, so `home_before`/`after` are
+        // bit-identical across schedules even though `folded_ns` is not.
+        rec.record_folded(seq, home_before, st.home.max_time());
     }
 }
 
-fn worker_loop<E: LaneEngine + Send + Sync>(engine: Arc<E>, shared: Arc<Shared<E>>) {
+fn worker_loop<E: LaneEngine + Send + Sync>(
+    engine: Arc<E>,
+    shared: Arc<Shared<E>>,
+    lane_idx: usize,
+) {
     loop {
         let (seq, tjob, run) = {
             let mut st = shared.state.lock();
@@ -449,10 +505,12 @@ fn worker_loop<E: LaneEngine + Send + Sync>(engine: Arc<E>, shared: Arc<Shared<E
             let run = e.run.take().expect("queued entry has its body");
             let tjob = e.tjob;
             st.running += 1;
+            shared.flight.record_dispatched(seq, lane_idx);
             (seq, tjob, run)
         };
         // Other workers dispatch freely while this lane runs.
         let lane = engine.home().job_lane(tjob);
+        shared.flight.record_lane_start(seq);
         let result = match catch_unwind(AssertUnwindSafe(|| run(&engine, &lane))) {
             Ok(r) => r,
             Err(payload) => Err(HmrError::Io(format!(
@@ -460,11 +518,13 @@ fn worker_loop<E: LaneEngine + Send + Sync>(engine: Arc<E>, shared: Arc<Shared<E
                 panic_text(&*payload)
             ))),
         };
-        let fold = Some((lane.max_time(), lane.metrics().snapshot()));
+        let lane_sim = lane.max_time();
+        shared.flight.record_lane_done(seq, lane_idx, lane_sim);
+        let fold = Some((lane_sim, lane.metrics().snapshot()));
         {
             let mut st = shared.state.lock();
             st.running -= 1;
-            finish_entry(&mut st, seq, result, fold);
+            finish_entry(&mut st, &shared.flight, seq, result, fold);
         }
         shared.cv.notify_all();
     }

@@ -147,7 +147,10 @@ impl<E: LaneEngine> SubmissionBuilder<'_, E> {
         conf.set_client_id(&client);
         let footprint = footprint_of(&conf);
 
+        let flight = &self.client.shared.flight;
+        let t_submit = flight.now_ns();
         let mut st = self.client.shared.state.lock();
+        let t_locked = flight.now_ns();
         if !st.accepting {
             return Err(HmrError::ServerShutdown(
                 "the m3r server is shutting down".to_string(),
@@ -165,19 +168,33 @@ impl<E: LaneEngine> SubmissionBuilder<'_, E> {
             conf.job_name(),
             engine.engine_name()
         ));
-        let ticket = TicketInner::new(seq, client);
+        let ticket = TicketInner::new(seq, client.clone());
+        let job_name = conf.job_name().to_string();
+        let priority = self.priority;
         let run: RunFn<E> = Box::new(move |engine: &E, lane: &Cluster| {
             engine.run_lane(lane, seq, job, &conf)
         });
-        admit(
+        let deps = admit(
             &mut st,
             seq,
-            self.priority,
+            priority,
             tjob,
             footprint,
             &self.after,
             run,
             Arc::clone(&ticket),
+        );
+        // Record under the admission lock so no lifecycle event for this
+        // seq can land before its submission does.
+        flight.record_submitted(
+            seq,
+            &client,
+            &job_name,
+            priority,
+            deps,
+            t_submit,
+            t_locked,
+            flight.now_ns(),
         );
         drop(st);
         self.client.shared.cv.notify_all();

@@ -7,13 +7,14 @@
 //! shuts down: a drained ticket keeps its result, a cancelled one its error.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use hmr_api::error::Result;
 use hmr_api::job::JobResult;
 use parking_lot::{Condvar, Mutex};
 
 /// Lifecycle of a submitted job, as observed through its ticket.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub enum JobStatus {
     /// Admitted, waiting for a worker (or for upstream jobs it depends on).
     Queued,
@@ -36,6 +37,44 @@ impl JobStatus {
             JobStatus::Completed | JobStatus::Failed | JobStatus::Cancelled
         )
     }
+
+    /// The lowercase name used in logs, reports and telemetry labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::fmt::Debug for JobStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.is_terminal() {
+            "terminal"
+        } else {
+            "non-terminal"
+        };
+        write!(f, "{} ({kind})", self.name())
+    }
+}
+
+/// What [`JobTicket::wait_timeout`] observed when it returned.
+#[derive(Debug)]
+pub enum WaitOutcome {
+    /// The job reached a terminal state within the deadline.
+    Resolved(Result<JobResult>),
+    /// The deadline passed first; carries the last-observed status so
+    /// callers can report progress instead of a bare timeout error.
+    TimedOut(JobStatus),
 }
 
 pub(crate) struct TicketState {
@@ -128,6 +167,24 @@ impl JobTicket {
             self.inner.cv.wait(&mut st);
         }
         st.result.clone().expect("loop exits only with a result")
+    }
+
+    /// Block until the job reaches a terminal state **or** `timeout`
+    /// elapses. A timeout is not an error: the ticket stays valid and the
+    /// returned [`WaitOutcome::TimedOut`] carries the last-observed
+    /// status, so callers can distinguish "still queued behind the
+    /// conflict DAG" from "running long".
+    pub fn wait_timeout(&self, timeout: Duration) -> WaitOutcome {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        while st.result.is_none() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return WaitOutcome::TimedOut(st.status);
+            }
+            self.inner.cv.wait_for(&mut st, deadline - now);
+        }
+        WaitOutcome::Resolved(st.result.clone().expect("loop exits only with a result"))
     }
 
     /// Cancel the job if it has not started executing. Returns true when

@@ -7,6 +7,7 @@ use crate::clock::{barrier, Clock};
 use crate::cost::{Charge, CostModel};
 use crate::mem::MemAccountant;
 use crate::metrics::Metrics;
+use crate::telemetry::TelemetryRegistry;
 use crate::trace::{ChargeTotals, Phase, Span, Trace};
 
 /// Identifies a node (0-based). The paper's testbed has 20 of these.
@@ -90,6 +91,7 @@ pub struct Cluster {
     metrics: Metrics,
     trace: Trace,
     mem: MemAccountant,
+    telemetry: TelemetryRegistry,
 }
 
 impl Cluster {
@@ -100,6 +102,11 @@ impl Cluster {
         let metrics = Metrics::new();
         let trace = Trace::new();
         let mem = MemAccountant::with_metrics(n, metrics.clone());
+        let telemetry = TelemetryRegistry::new();
+        // The governor's watermark/eviction gauges are pull-based callbacks
+        // — registering them here costs nothing at runtime and every
+        // cluster's registry answers for its memory from birth.
+        mem.publish_telemetry(&telemetry);
         let nodes = (0..n)
             .map(|id| Node {
                 id,
@@ -116,6 +123,7 @@ impl Cluster {
             metrics,
             trace,
             mem,
+            telemetry,
         }
     }
 
@@ -162,6 +170,13 @@ impl Cluster {
     /// The per-place memory accountant (infinite budget by default).
     pub fn mem(&self) -> &MemAccountant {
         &self.mem
+    }
+
+    /// The cluster-wide pull-based telemetry registry (see
+    /// [`crate::telemetry`]). Shared by job lanes, like the accountant, so
+    /// a long-lived server exports one registry for every tenant's jobs.
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.telemetry
     }
 
     /// Latest clock across the cluster — "the job is done when the slowest
@@ -262,6 +277,7 @@ impl Cluster {
             metrics,
             trace,
             mem: self.mem.clone(),
+            telemetry: self.telemetry.clone(),
         }
     }
 

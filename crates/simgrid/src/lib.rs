@@ -25,6 +25,11 @@
 //! per-place, per-phase spans with charge totals, rollups, a Chrome
 //! trace-event exporter and a per-job text report. It is disabled by
 //! default and simulation-invisible when enabled.
+//!
+//! The [`telemetry`] module is the operational sensor layer *around* the
+//! simulation: a pull-based [`TelemetryRegistry`] (one per cluster, shared
+//! by job lanes) of counters, gauge callbacks and histograms with
+//! Prometheus-style text and JSON export, also simulation-invisible.
 
 pub mod arena;
 pub mod bufpool;
@@ -35,6 +40,7 @@ pub mod mem;
 pub mod meter;
 pub mod metrics;
 pub mod pool;
+pub mod telemetry;
 pub mod trace;
 
 pub use arena::{Arena, Scratch};
@@ -46,4 +52,5 @@ pub use mem::{MemAccountant, MemClass, OomMode};
 pub use meter::{current_meter, with_meter, Meter};
 pub use metrics::Metrics;
 pub use pool::{run_wave, wave_duration};
+pub use telemetry::{Counter, Histogram, TelemetryRegistry};
 pub use trace::{Phase, Rollup, Span, Trace};

@@ -344,6 +344,93 @@ impl MemAccountant {
         self.inner.cache_misses.store(0, Ordering::Relaxed);
     }
 
+    /// Publish the governor's state into `registry` as pull-based gauges:
+    /// per-place live bytes by class, high watermarks, eviction/spill/
+    /// reload totals, and the cluster-wide governed-cache hit/miss tally.
+    /// Callbacks capture a clone of the accountant, so the registry always
+    /// exports the *current* state; registering is idempotent (gauge
+    /// re-registration overwrites).
+    pub fn publish_telemetry(&self, registry: &crate::telemetry::TelemetryRegistry) {
+        use std::sync::Arc;
+        let per_place = |name: &str, help: &str, read: fn(&MemAccountant, usize) -> u64| {
+            let me = self.clone();
+            registry.gauge(
+                name,
+                help,
+                Arc::new(move || {
+                    (0..me.places())
+                        .map(|p| (format!("place=\"{p}\""), read(&me, p) as f64))
+                        .collect()
+                }),
+            );
+        };
+        let me = self.clone();
+        registry.gauge(
+            "m3r_mem_live_bytes",
+            "live accounted bytes per place and memory class",
+            Arc::new(move || {
+                let mut samples = Vec::with_capacity(me.places() * MemClass::COUNT);
+                for p in 0..me.places() {
+                    for class in MemClass::all() {
+                        samples.push((
+                            format!("place=\"{p}\",class=\"{}\"", class.name()),
+                            me.live_class(p, class) as f64,
+                        ));
+                    }
+                }
+                samples
+            }),
+        );
+        per_place(
+            "m3r_mem_high_watermark_bytes",
+            "highest budget-relevant live bytes ever observed per place",
+            MemAccountant::high_watermark,
+        );
+        per_place(
+            "m3r_mem_combine_high_watermark_bytes",
+            "peak combine-table bytes per place",
+            MemAccountant::combine_high_watermark,
+        );
+        per_place(
+            "m3r_mem_evictions_total",
+            "cache entries evicted per place",
+            MemAccountant::evictions,
+        );
+        per_place(
+            "m3r_mem_spill_bytes_total",
+            "bytes spilled to the DFS by evictions per place",
+            MemAccountant::spill_bytes,
+        );
+        per_place(
+            "m3r_mem_reload_bytes_total",
+            "bytes faulted back in from spill files per place",
+            MemAccountant::reload_bytes,
+        );
+        let me = self.clone();
+        registry.gauge(
+            "m3r_cache_requests_total",
+            "governed-cache lookups by outcome",
+            Arc::new(move || {
+                let (hits, misses) = me.cache_accesses();
+                vec![
+                    ("outcome=\"hit\"".to_string(), hits as f64),
+                    ("outcome=\"miss\"".to_string(), misses as f64),
+                ]
+            }),
+        );
+        let me = self.clone();
+        registry.gauge(
+            "m3r_mem_budget_bytes",
+            "per-place byte budget (-1 = unlimited)",
+            Arc::new(move || {
+                vec![(
+                    String::new(),
+                    me.budget().map(|b| b as f64).unwrap_or(-1.0),
+                )]
+            }),
+        );
+    }
+
     /// Human-readable per-place memory section for the trace text report,
     /// mirroring how the buffer-pool hit rate is surfaced there.
     pub fn report_section(&self) -> String {

@@ -1,0 +1,527 @@
+//! Pull-based telemetry registry: counters, gauges and histograms with
+//! Prometheus-style text and JSON export.
+//!
+//! The trace module answers "where did *simulated* time go inside a job";
+//! this module is the operational sensor layer *around* jobs — the numbers
+//! a fleet dashboard would scrape from a long-lived server: submit rates,
+//! submit→resolve latency histograms, lane busy-seconds, memory watermarks,
+//! cache hit/miss/spill traffic, per-tenant resident bytes. Every
+//! [`crate::Cluster`] carries one registry (shared by its job lanes, like
+//! the memory accountant), and the server, the memory governor and the
+//! governed cache all publish into it.
+//!
+//! # Design rules
+//!
+//! * **Pull-based.** Gauges are *callbacks* evaluated at export time, so
+//!   publishing a gauge costs one registration and reading the registry
+//!   never perturbs the publisher. Counters and histograms are lock-free
+//!   atomics on the update path.
+//! * **Simulation-invisible.** Nothing in this module touches clocks,
+//!   [`crate::Metrics`], or job outputs: registering, updating and
+//!   exporting telemetry leaves simulated seconds, counters and
+//!   `MetricsSnapshot`s bit-identical (pinned by `tests/serverobs.rs`).
+//! * **Deterministic export order.** Families and label sets export in
+//!   lexicographic order (`BTreeMap`s all the way down), so two exports of
+//!   the same state are byte-identical.
+//!
+//! # Naming scheme
+//!
+//! `m3r_<subsystem>_<what>[_<unit>]` with snake-case label keys:
+//! `m3r_server_jobs_total{state="completed"}`,
+//! `m3r_mem_high_watermark_bytes{place="0"}`,
+//! `m3r_cache_resident_bytes{owner="client-3"}`. Counters end in `_total`;
+//! byte/second units are spelled out in the name, Prometheus-style.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::trace::json_escape;
+
+/// A monotonically increasing counter handle. Cheap to clone; all clones
+/// (and the registry) share one atomic cell.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    /// Upper bounds of the buckets, ascending; an implicit `+Inf` bucket
+    /// catches the rest.
+    bounds: Vec<f64>,
+    /// One cumulative-at-export count per bound plus the `+Inf` bucket
+    /// (stored non-cumulative; export accumulates).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values in micro-units (value × 1e6, rounded) so the
+    /// hot path stays integer-atomic; export divides back.
+    sum_micros: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let h = &self.inner;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(h.bounds.len());
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        let micros = (value * 1e6).max(0.0) as u64;
+        h.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.inner.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// The value at quantile `q` (0..=1), estimated from the bucket counts
+    /// (upper bound of the bucket the quantile falls in; the last bound for
+    /// the overflow bucket). Returns 0.0 with no observations.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let h = &self.inner;
+        let total = h.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return h.bounds.get(i).copied().unwrap_or_else(|| {
+                    // Overflow bucket: the best point estimate available is
+                    // the largest finite bound.
+                    h.bounds.last().copied().unwrap_or(0.0)
+                });
+            }
+        }
+        h.bounds.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// A gauge callback: evaluated at export time, returns the current samples
+/// of one metric family as `(label_string, value)` pairs. The label string
+/// is the Prometheus-syntax set without braces (e.g. `place="0"`), empty
+/// for an unlabelled gauge.
+pub type GaugeFn = Arc<dyn Fn() -> Vec<(String, f64)> + Send + Sync>;
+
+enum Metric {
+    Counter(BTreeMap<String, Counter>),
+    Gauge(GaugeFn),
+    Histogram {
+        bounds: Vec<f64>,
+        samples: BTreeMap<String, Histogram>,
+    },
+}
+
+struct Family {
+    help: String,
+    metric: Metric,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    families: BTreeMap<String, Family>,
+}
+
+/// The pull-based telemetry registry. `Clone` is shallow: clones (and the
+/// cluster's job lanes) share one registry.
+#[derive(Clone, Default)]
+pub struct TelemetryRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl std::fmt::Debug for TelemetryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("TelemetryRegistry")
+            .field("families", &inner.families.len())
+            .finish()
+    }
+}
+
+/// Render a label slice as the canonical Prometheus label-set string
+/// (no braces): `a="1",b="x"`. Keys keep caller order.
+pub fn label_string(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", json_escape(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl TelemetryRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        TelemetryRegistry::default()
+    }
+
+    /// Register (or look up) a counter sample. Idempotent: the same
+    /// (name, labels) always returns a handle to the same cell, so
+    /// publishers can re-register freely.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut inner = self.inner.lock();
+        let fam = inner.families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            metric: Metric::Counter(BTreeMap::new()),
+        });
+        match &mut fam.metric {
+            Metric::Counter(samples) => samples
+                .entry(label_string(labels))
+                .or_default()
+                .clone(),
+            _ => panic!("telemetry family {name:?} already registered with another type"),
+        }
+    }
+
+    /// Register (or replace) a gauge family: `f` is called at every export
+    /// and returns the family's current `(label_string, value)` samples.
+    /// Re-registration overwrites — publishers whose sample set changes
+    /// over time (e.g. per-tenant gauges) just return the current set.
+    pub fn gauge(&self, name: &str, help: &str, f: GaugeFn) {
+        let mut inner = self.inner.lock();
+        inner.families.insert(
+            name.to_string(),
+            Family {
+                help: help.to_string(),
+                metric: Metric::Gauge(f),
+            },
+        );
+    }
+
+    /// Register (or look up) a histogram sample with the given ascending
+    /// bucket upper bounds (an implicit `+Inf` bucket is added). Idempotent
+    /// per (name, labels); the first registration fixes the bounds.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must ascend"
+        );
+        let mut inner = self.inner.lock();
+        let fam = inner.families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            metric: Metric::Histogram {
+                bounds: bounds.to_vec(),
+                samples: BTreeMap::new(),
+            },
+        });
+        match &mut fam.metric {
+            Metric::Histogram { bounds, samples } => samples
+                .entry(label_string(labels))
+                .or_insert_with(|| Histogram {
+                    inner: Arc::new(HistogramInner {
+                        bounds: bounds.clone(),
+                        buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                        count: AtomicU64::new(0),
+                        sum_micros: AtomicU64::new(0),
+                    }),
+                })
+                .clone(),
+            _ => panic!("telemetry family {name:?} already registered with another type"),
+        }
+    }
+
+    /// Drop every registered family.
+    pub fn clear(&self) {
+        self.inner.lock().families.clear();
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.inner.lock().families.len()
+    }
+
+    /// Whether no family is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Export in the Prometheus text exposition format: `# HELP` / `# TYPE`
+    /// headers, one sample per line, families and label sets in
+    /// lexicographic order.
+    pub fn prometheus_text(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, fam) in &inner.families {
+            out.push_str(&format!("# HELP {name} {}\n", fam.help));
+            let kind = match &fam.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram { .. } => "histogram",
+            };
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            match &fam.metric {
+                Metric::Counter(samples) => {
+                    for (labels, c) in samples {
+                        out.push_str(&sample_line(name, labels, &[], &format!("{}", c.get())));
+                    }
+                }
+                Metric::Gauge(f) => {
+                    let mut samples = f();
+                    samples.sort_by(|a, b| a.0.cmp(&b.0));
+                    for (labels, v) in samples {
+                        out.push_str(&sample_line(name, &labels, &[], &fmt_value(v)));
+                    }
+                }
+                Metric::Histogram { bounds, samples } => {
+                    for (labels, h) in samples {
+                        let mut cum = 0u64;
+                        for (i, b) in bounds.iter().enumerate() {
+                            cum += h.inner.buckets[i].load(Ordering::Relaxed);
+                            out.push_str(&sample_line(
+                                &format!("{name}_bucket"),
+                                labels,
+                                &[("le", &fmt_value(*b))],
+                                &format!("{cum}"),
+                            ));
+                        }
+                        cum += h.inner.buckets[bounds.len()].load(Ordering::Relaxed);
+                        out.push_str(&sample_line(
+                            &format!("{name}_bucket"),
+                            labels,
+                            &[("le", "+Inf")],
+                            &format!("{cum}"),
+                        ));
+                        out.push_str(&sample_line(
+                            &format!("{name}_sum"),
+                            labels,
+                            &[],
+                            &fmt_value(h.sum()),
+                        ));
+                        out.push_str(&sample_line(
+                            &format!("{name}_count"),
+                            labels,
+                            &[],
+                            &format!("{}", h.count()),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Export as a JSON document: `{"families": [{name, type, help,
+    /// samples: [{labels, value | count/sum/buckets}]}]}`. Same ordering
+    /// guarantees as the text format; no JSON dependency (shared escaper).
+    pub fn json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut fams: Vec<String> = Vec::with_capacity(inner.families.len());
+        for (name, fam) in &inner.families {
+            let (kind, samples) = match &fam.metric {
+                Metric::Counter(samples) => (
+                    "counter",
+                    samples
+                        .iter()
+                        .map(|(labels, c)| {
+                            format!(
+                                "{{\"labels\":\"{}\",\"value\":{}}}",
+                                json_escape(labels),
+                                c.get()
+                            )
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+                Metric::Gauge(f) => {
+                    let mut s = f();
+                    s.sort_by(|a, b| a.0.cmp(&b.0));
+                    (
+                        "gauge",
+                        s.iter()
+                            .map(|(labels, v)| {
+                                format!(
+                                    "{{\"labels\":\"{}\",\"value\":{}}}",
+                                    json_escape(labels),
+                                    fmt_value(*v)
+                                )
+                            })
+                            .collect(),
+                    )
+                }
+                Metric::Histogram { bounds, samples } => (
+                    "histogram",
+                    samples
+                        .iter()
+                        .map(|(labels, h)| {
+                            let mut cum = 0u64;
+                            let buckets: Vec<String> = bounds
+                                .iter()
+                                .enumerate()
+                                .map(|(i, b)| {
+                                    cum += h.inner.buckets[i].load(Ordering::Relaxed);
+                                    format!("{{\"le\":{},\"count\":{cum}}}", fmt_value(*b))
+                                })
+                                .collect();
+                            format!(
+                                "{{\"labels\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                                json_escape(labels),
+                                h.count(),
+                                fmt_value(h.sum()),
+                                buckets.join(",")
+                            )
+                        })
+                        .collect(),
+                ),
+            };
+            fams.push(format!(
+                "{{\"name\":\"{}\",\"type\":\"{kind}\",\"help\":\"{}\",\"samples\":[{}]}}",
+                json_escape(name),
+                json_escape(&fam.help),
+                samples.join(",")
+            ));
+        }
+        format!("{{\"families\":[{}]}}\n", fams.join(",\n"))
+    }
+}
+
+/// Format one sample line. `extra` labels (e.g. `le`) append after the
+/// sample's own label string.
+fn sample_line(name: &str, labels: &str, extra: &[(&str, &str)], value: &str) -> String {
+    let mut all = String::from(labels);
+    for (k, v) in extra {
+        if !all.is_empty() {
+            all.push(',');
+        }
+        all.push_str(&format!("{k}=\"{v}\""));
+    }
+    if all.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{all}}} {value}\n")
+    }
+}
+
+/// Trim floats so integers export without a trailing `.0...` tail and
+/// non-integers keep full precision.
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_and_are_idempotent() {
+        let reg = TelemetryRegistry::new();
+        let a = reg.counter("m3r_test_total", "test counter", &[("state", "ok")]);
+        let b = reg.counter("m3r_test_total", "test counter", &[("state", "ok")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "re-registration returns the same cell");
+        let other = reg.counter("m3r_test_total", "test counter", &[("state", "err")]);
+        assert_eq!(other.get(), 0);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE m3r_test_total counter"));
+        assert!(text.contains("m3r_test_total{state=\"err\"} 0\n"));
+        assert!(text.contains("m3r_test_total{state=\"ok\"} 3\n"));
+    }
+
+    #[test]
+    fn gauges_pull_at_export_time() {
+        let reg = TelemetryRegistry::new();
+        let cell = Arc::new(AtomicU64::new(5));
+        let seen = Arc::clone(&cell);
+        reg.gauge(
+            "m3r_test_bytes",
+            "live bytes",
+            Arc::new(move || vec![(String::new(), seen.load(Ordering::Relaxed) as f64)]),
+        );
+        assert!(reg.prometheus_text().contains("m3r_test_bytes 5\n"));
+        cell.store(9, Ordering::Relaxed);
+        assert!(
+            reg.prometheus_text().contains("m3r_test_bytes 9\n"),
+            "gauges re-evaluate per export"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_export() {
+        let reg = TelemetryRegistry::new();
+        let h = reg.histogram("m3r_test_ms", "latency", &[], &[1.0, 10.0, 100.0]);
+        for v in [0.5, 2.0, 3.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 55.5).abs() < 1e-6);
+        assert_eq!(h.quantile(0.5), 10.0, "2nd of 4 lands in the (1,10] bucket");
+        assert_eq!(h.quantile(1.0), 100.0);
+        let text = reg.prometheus_text();
+        assert!(text.contains("m3r_test_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("m3r_test_ms_bucket{le=\"10\"} 3\n"));
+        assert!(text.contains("m3r_test_ms_bucket{le=\"100\"} 4\n"));
+        assert!(text.contains("m3r_test_ms_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("m3r_test_ms_count 4\n"));
+        let json = reg.json();
+        assert!(json.contains("\"name\":\"m3r_test_ms\""));
+        assert!(json.contains("\"count\":4"));
+    }
+
+    #[test]
+    fn export_order_is_deterministic() {
+        let build = || {
+            let reg = TelemetryRegistry::new();
+            reg.counter("m3r_b_total", "b", &[("z", "1")]).inc();
+            reg.counter("m3r_b_total", "b", &[("a", "1")]).inc();
+            reg.counter("m3r_a_total", "a", &[]).add(7);
+            reg.prometheus_text()
+        };
+        assert_eq!(build(), build());
+        let text = build();
+        let a = text.find("m3r_a_total").unwrap();
+        let b = text.find("m3r_b_total").unwrap();
+        assert!(a < b, "families export in name order");
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn type_conflicts_are_rejected() {
+        let reg = TelemetryRegistry::new();
+        reg.counter("m3r_x", "x", &[]);
+        reg.histogram("m3r_x", "x", &[], &[1.0]);
+    }
+}

@@ -423,6 +423,15 @@ impl Trace {
         chrome_json(&self.spans(), &self.job_names())
     }
 
+    /// Like [`Trace::chrome_json`], with `extra` pre-rendered trace events
+    /// appended — the hook the multi-tenant job server uses to merge its
+    /// wall-clock flight-recorder tracks (pid 1: one track per dispatch
+    /// lane, per-client submit tracks, ticket flow events) into the same
+    /// file as the simulated-time place tracks (pid 0).
+    pub fn chrome_json_with(&self, extra: &[String]) -> String {
+        chrome_json_with(&self.spans(), &self.job_names(), extra)
+    }
+
     /// Human-readable per-job report (Hadoop-job-history style): one
     /// phase-by-phase table per job plus per-place busy totals.
     pub fn report(&self) -> String {
@@ -673,11 +682,19 @@ fn micros(seconds: f64) -> String {
 /// trace microseconds; each place gets its own lane via `tid`, named by a
 /// `thread_name` metadata event.
 pub fn chrome_json(spans: &[Span], job_names: &[String]) -> String {
+    chrome_json_with(spans, job_names, &[])
+}
+
+/// [`chrome_json`] with `extra` pre-rendered event objects (each a complete
+/// JSON object, no trailing comma) appended after the span events. Callers
+/// that add wall-clock tracks should use a distinct `pid` so viewers show
+/// them as a separate process from the simulated-time place lanes (pid 0).
+pub fn chrome_json_with(spans: &[Span], job_names: &[String], extra: &[String]) -> String {
     let mut places: Vec<usize> = spans.iter().map(|s| s.place).collect();
     places.sort_unstable();
     places.dedup();
 
-    let mut events: Vec<String> = Vec::with_capacity(spans.len() + places.len() + 1);
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() + places.len() + extra.len() + 1);
     events.push(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
          \"args\":{\"name\":\"simulated cluster\"}}"
@@ -729,6 +746,8 @@ pub fn chrome_json(spans: &[Span], job_names: &[String]) -> String {
             tid = s.place,
         ));
     }
+
+    events.extend(extra.iter().cloned());
 
     let mut out = String::from("[\n");
     out.push_str(&events.join(",\n"));

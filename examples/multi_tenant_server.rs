@@ -56,7 +56,7 @@ fn main() {
             ..M3ROptions::default()
         },
     );
-    let server = JobServer::with_options(engine, ServerOptions { workers: 4 });
+    let server = JobServer::with_options(engine, ServerOptions { workers: 4, ..Default::default() });
 
     // --- async submission: tickets come back immediately -------------------
     let alice = server.client_as("alice");

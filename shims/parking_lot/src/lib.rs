@@ -85,6 +85,23 @@ impl Condvar {
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }
 
+    /// Like [`Condvar::wait`] with a deadline (parking_lot signature: the
+    /// guard is re-acquired in place either way; the result says whether
+    /// the timeout elapsed).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard taken during wait");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
@@ -97,6 +114,17 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Condvar::new()
+    }
+}
+
+/// Result of [`Condvar::wait_for`].
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
