@@ -46,6 +46,7 @@ fn main() {
     microbench_m3r();
     matvec_hadoop();
     matvec_m3r();
+    wordcount_memo_m3r();
 }
 
 /// Export the cluster's trace as Chrome JSON + text report for one run.
@@ -150,6 +151,45 @@ fn matvec_hadoop() {
     )
     .unwrap();
     export("matvec", "hadoop", &cluster);
+}
+
+/// A memoized WordCount resubmission (ISSUE 10): the same job twice with
+/// `memoize: true`, so the text report's accountant section is followed by
+/// the cross-job reuse-index section — entries, hit rate, retained bytes.
+fn wordcount_memo_m3r() {
+    use workloads::textgen::generate_text;
+    use workloads::wordcount::{run_wordcount, WcStyle};
+
+    let (cluster, fs) = fresh(NODES, 0.0);
+    for f in 0..NODES {
+        generate_text(&fs, &HPath::new(format!("/in/part-{f:03}.txt")), 64 << 10, 7 + f as u64)
+            .unwrap();
+    }
+    cluster.trace().enable();
+    let mut engine = m3r::M3REngine::with_options(
+        cluster.clone(),
+        Arc::new(fs),
+        m3r::M3ROptions {
+            memoize: true,
+            ..Default::default()
+        },
+    );
+    for _ in 0..2 {
+        run_wordcount(&mut engine, WcStyle::FreshText, &HPath::new("/in"), &HPath::new("/out"), PARTS)
+            .unwrap();
+    }
+
+    let trace = cluster.trace();
+    let mut report = trace.report();
+    report.push('\n');
+    report.push_str(&cluster.mem().report_section());
+    report.push('\n');
+    report.push_str(&engine.memo().report_section());
+    let txt_path = write_bench_file("report-wordcount-memo-m3r.txt", &report)
+        .expect("write text report");
+    println!("\n=== wordcount (memoized resubmission) on m3r ===");
+    print!("{report}");
+    println!("wrote {}", txt_path.display());
 }
 
 fn matvec_m3r() {

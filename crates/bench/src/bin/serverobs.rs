@@ -134,11 +134,12 @@ fn main() {
             ms(cs.p99_ns),
             ms(cs.max_ns),
             cs.slo_breaches.to_string(),
+            cs.memo_hits.to_string(),
         ]);
     }
     report.table(
         &format!("per-client submit->resolve latency (SLO {} ms)", SLO_NS / 1_000_000),
-        &["client", "jobs", "p50_ms", "p95_ms", "p99_ms", "max_ms", "slo_breaches"],
+        &["client", "jobs", "p50_ms", "p95_ms", "p99_ms", "max_ms", "slo_breaches", "memo_hits"],
         crows.clone(),
     );
     push_txt(&mut txt, "per-client slo", &crows);

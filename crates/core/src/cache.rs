@@ -241,7 +241,7 @@ impl KvCache {
     /// place over budget are evicted by `policy` and spilled to
     /// `spill_fs` under `/.m3r-spill`, or the cache errors when `mem` is
     /// in [`OomMode::FailFast`]. `spill_fs` must be the raw filesystem,
-    /// not the caching wrapper (see [`SpillTarget::fs`]).
+    /// not the caching wrapper (see `SpillTarget::fs`).
     pub fn governed(
         places: usize,
         mem: MemAccountant,

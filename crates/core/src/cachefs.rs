@@ -183,6 +183,15 @@ impl FileSystem for CachingFs {
                 .unwrap_or_default()),
         }
     }
+
+    fn content_version(&self, path: &HPath) -> Option<u64> {
+        // Versions are a property of the durable bytes: cache-only entries
+        // (temporary outputs that never reach the DFS) stay unversioned, so
+        // memoization never fingerprints content that could vanish with the
+        // cache. Every cache mutation goes through `create`/`delete` on the
+        // underlying store first, so delegation cannot go stale.
+        self.under.content_version(path)
+    }
 }
 
 impl CacheFsExt for CachingFs {

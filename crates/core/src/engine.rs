@@ -110,6 +110,19 @@ pub struct M3ROptions {
     /// global allocator. Wall-clock only; retained bytes are accounted to
     /// [`simgrid::MemClass::Arena`], which budgets deliberately ignore.
     pub arena: bool,
+    /// ReStore-style cross-job result memoization (`m3r-memo`, ISSUE 10):
+    /// jobs that declare a `memo_identity` record their retained outputs
+    /// (and shuffle-stable reduce inputs) in the engine's [`m3r_memo::ReuseIndex`];
+    /// a fingerprint-identical resubmission replays retained bytes instead
+    /// of running — ~0 simulated seconds, no map/shuffle spans — and a
+    /// map-prefix match (same map pipeline, different reducer) replays only
+    /// the reduce side. Off (the default) is bit-identical to the
+    /// non-memoized engine; the per-job `m3r.memo.enable` conf knob also
+    /// enables it. Cold runs with memoization on stay sim-bit-identical
+    /// under the default infinite budget (recording is unmetered); under a
+    /// *finite* budget retained entries are budget-live
+    /// ([`simgrid::MemClass::Memo`]) and may shift cache-eviction timing.
+    pub memoize: bool,
 }
 
 /// How the governed cache behaves under a per-place memory budget. The
@@ -140,6 +153,7 @@ impl Default for M3ROptions {
             place_combine: false,
             hash_group_ingest: true,
             arena: true,
+            memoize: false,
         }
     }
 }
@@ -162,6 +176,11 @@ pub struct M3REngine {
     /// One scratch arena per place, persisted across jobs like the pools:
     /// wave *n+1* leases the pair vectors wave *n* grew.
     arenas: Vec<Arc<Arena>>,
+    /// The cross-job reuse index (`m3r-memo`): retained whole-job outputs
+    /// and map-phase partition sets, keyed by fingerprint. Long-lived like
+    /// everything else on the places; consulted only for jobs that pass
+    /// [`M3REngine::memo_basis`].
+    memo: Arc<m3r_memo::ReuseIndex>,
 }
 
 impl M3REngine {
@@ -210,6 +229,14 @@ impl M3REngine {
                 })
             })
             .collect();
+        // The reuse index shares the cluster accountant when the engine is
+        // governed: retained results are budget-live (`MemClass::Memo`) and
+        // dropped — never spilled — under pressure.
+        let memo = Arc::new(match &opts.memory {
+            Some(_) => m3r_memo::ReuseIndex::governed(places, cluster.mem().clone()),
+            None => m3r_memo::ReuseIndex::new(places),
+        });
+        memo.publish_telemetry(cluster.telemetry());
         M3REngine {
             world: Arc::new(World::new(places)),
             fs: Arc::new(CachingFs::new(fs, cache)),
@@ -219,6 +246,7 @@ impl M3REngine {
             dist_memo: Mutex::new(HashMap::new()),
             pools,
             arenas,
+            memo,
         }
     }
 
@@ -256,6 +284,33 @@ impl M3REngine {
     /// Engine options in force.
     pub fn options(&self) -> &M3ROptions {
         &self.opts
+    }
+
+    /// The cross-job reuse index (test/bench/report introspection).
+    pub fn memo(&self) -> &Arc<m3r_memo::ReuseIndex> {
+        &self.memo
+    }
+
+    /// The memo eligibility gate: `Some(basis)` iff this job can
+    /// participate in cross-job memoization. Requires memoization enabled
+    /// (engine option or per-job conf), a declared compute identity, a real
+    /// reduce phase, a durable non-temp output directory, and a content
+    /// version for every input and cache file (`gather` returns `None`
+    /// otherwise). Unmetered — version reads are namenode metadata and this
+    /// runs outside any phase meter.
+    fn memo_basis<J: JobDef>(&self, job: &J, conf: &JobConf) -> Option<m3r_memo::FingerprintBasis> {
+        if !(self.opts.memoize || conf.memo_enable()) {
+            return None;
+        }
+        let identity = job.memo_identity()?;
+        if conf.num_reduce_tasks() == 0 {
+            return None;
+        }
+        let out = conf.output_path()?;
+        if conf.is_temp_output(&out) {
+            return None;
+        }
+        m3r_memo::FingerprintBasis::gather(&*self.fs, conf, &identity, "m3r", &[])
     }
 
     fn place_map(&self, job_seq: u64) -> PlaceMap {
@@ -348,6 +403,14 @@ fn seq_file_len<K: Writable, V: Writable>(pairs: &[(Arc<K>, Arc<V>)]) -> u64 {
     }
     n
 }
+
+/// The payload of a map-prefix memo entry: the assembled reduce-input
+/// partitions of one finished map phase, `(partition, pairs)` sorted by
+/// partition, typed by the job's intermediate `K2/V2` domain. Stored in the
+/// [`m3r_memo::ReuseIndex`] as an opaque `Arc<dyn Any>` and downcast back
+/// here — the engine name inside the fingerprint guarantees the type.
+type MapPhaseData<J> =
+    Vec<(usize, Vec<(Arc<<J as JobDef>::K2>, Arc<<J as JobDef>::V2>)>)>;
 
 /// One map task's partitioned output, routed but not yet serialized.
 ///
@@ -466,6 +529,22 @@ impl LaneEngine for M3REngine {
     fn set_client_quota(&self, client: &str, quota: Option<u64>) {
         self.cache().set_client_quota(client, quota);
     }
+
+    fn try_memo_replay<J: JobDef>(
+        &self,
+        job: &Arc<J>,
+        conf: &JobConf,
+    ) -> Option<Result<JobResult>> {
+        // Pre-admission whole-job hits only: a map-prefix match still runs
+        // a real reduce phase and must occupy a lane (it triggers inside
+        // `run_lane` → `run_job_inner` as usual).
+        let basis = self.memo_basis(&**job, conf)?;
+        let hit = self.memo.lookup_full(basis.job_fingerprint(), &*self.fs)?;
+        let conf = Arc::new(conf.clone());
+        let t0 = self.cluster.max_time();
+        let m0 = self.cluster.metrics().snapshot();
+        Some(self.replay_full(&self.cluster, &conf, hit, t0, &m0))
+    }
 }
 
 impl M3REngine {
@@ -490,6 +569,17 @@ impl M3REngine {
         let m0 = cluster.metrics().snapshot();
         let conf = Arc::new(conf.clone());
 
+        // ---- cross-job memoization (m3r-memo) --------------------------------
+        // A whole-job fingerprint hit resolves the submission before any
+        // splits, maps or shuffles exist: the retained output bytes land
+        // back on the DFS unmetered (~0 simulated seconds, zero spans).
+        let memo_basis = self.memo_basis(&*job, &conf);
+        if let Some(basis) = &memo_basis {
+            if let Some(hit) = self.memo.lookup_full(basis.job_fingerprint(), &*self.fs) {
+                return self.replay_full(&cluster, &conf, hit, t0, &m0);
+            }
+        }
+
         let tjob = cluster
             .trace()
             .begin_job(&format!("{} (m3r)", conf.job_name()));
@@ -503,6 +593,34 @@ impl M3REngine {
                 simgrid::meter::charge(Charge::Barrier);
             });
         });
+
+        // Sub-job matching: the whole job missed, but if some earlier job
+        // ran the identical map / combine / partition pipeline over these
+        // exact inputs, its shuffle-stable reduce-input partitions are
+        // retained — replay only the reduce side (no splits, no map waves,
+        // no shuffle). A job is a memo *miss* only when both lookups fail.
+        if let Some(basis) = &memo_basis {
+            match self
+                .memo
+                .lookup_map::<MapPhaseData<J>>(basis.map_fingerprint(), &*self.fs)
+            {
+                Some((data, map_counters)) => {
+                    return self.replay_reduce_only(
+                        &cluster,
+                        job,
+                        conf,
+                        basis,
+                        &data,
+                        map_counters,
+                        t0,
+                        &m0,
+                        tjob,
+                        place_map,
+                    );
+                }
+                None => self.memo.note_miss(),
+            }
+        }
 
         let fs = Arc::clone(&self.fs);
         let input_format = job.input_format(&conf);
@@ -610,6 +728,18 @@ impl M3REngine {
         // have been sent" — an X10 team barrier.
         cluster.barrier();
 
+        // Map-side counters as of the shuffle barrier: a map-prefix memo
+        // entry must replay them verbatim (they are reducer-independent).
+        let map_counters = memo_basis
+            .as_ref()
+            .map(|_| shared.counters.lock().clone());
+        // Capture the assembled reduce inputs for the map-prefix memo entry
+        // — clones of the `Arc` pairs at the exact shuffle/reduce boundary,
+        // so a replay reproduces reduce-input order bit-for-bit.
+        let capture: Option<Arc<Mutex<MapPhaseData<J>>>> = memo_basis
+            .as_ref()
+            .map(|_| Arc::new(Mutex::new(Vec::new())));
+
         // ---- reduce phase ----------------------------------------------------
         if num_reducers > 0 {
             self.world.finish(|fin| {
@@ -623,10 +753,12 @@ impl M3REngine {
                     let opts = opts.clone();
                     let pool = Arc::clone(&self.pools[place]);
                     let arena = opts.arena.then(|| Arc::clone(&self.arenas[place]));
+                    let capture = capture.clone();
                     fin.at(place, move |_pc| {
                         let r = reduce_phase_at_place(
                             place, &job, &conf, &fs, &cluster, &shared, &dist_cache,
                             &opts, place_map, num_reducers, &pool, arena.as_deref(), tjob,
+                            capture.as_deref(),
                         );
                         shared.record(r);
                     });
@@ -654,12 +786,226 @@ impl M3REngine {
         }
 
         let counters = shared.counters.lock().clone();
+        let output_records = shared.output_records.load(Ordering::Relaxed);
+
+        // Record this run's results in the reuse index (unmetered: the
+        // read-back and the index insert cost nothing simulated, so a cold
+        // run with memoization on stays sim-bit-identical to one without).
+        if let Some(basis) = &memo_basis {
+            self.memo_record_full(basis, &conf, &counters, output_records);
+            if let (Some(capture), Some(map_counters)) = (capture, map_counters) {
+                let mut parts = std::mem::take(&mut *capture.lock());
+                parts.sort_by_key(|(p, _)| *p);
+                let bytes: u64 = parts.iter().map(|(_, pairs)| seq_file_len(pairs)).sum();
+                self.memo.record_map(
+                    basis.map_fingerprint(),
+                    basis.input_versions().to_vec(),
+                    Arc::new(parts),
+                    map_counters,
+                    bytes,
+                );
+            }
+        }
+
         Ok(JobResult {
             sim_time: t_end - t0,
             counters,
             metrics: cluster.metrics().snapshot().since(&m0),
-            output_records: shared.output_records.load(Ordering::Relaxed),
+            output_records,
         })
+    }
+
+    /// Replay a retained whole-job result: write the stored part bytes (and
+    /// the `_SUCCESS` marker) into the submitted conf's output directory,
+    /// all unmetered — the job "runs" in ~0 simulated seconds with zero
+    /// map/shuffle spans. The trace still opens a job (keeping rollup job
+    /// numbering consistent with submission order); it simply has no spans.
+    fn replay_full(
+        &self,
+        cluster: &Cluster,
+        conf: &Arc<JobConf>,
+        hit: m3r_memo::FullHit,
+        t0: f64,
+        m0: &simgrid::metrics::MetricsSnapshot,
+    ) -> Result<JobResult> {
+        cluster
+            .trace()
+            .begin_job(&format!("{} (m3r memo)", conf.job_name()));
+        let out_dir = conf.output_path().expect("memo_basis gated on output");
+        for (name, bytes) in &hit.parts {
+            let path = out_dir.join(name);
+            // Writing through the caching view keeps any cached entry for a
+            // previously-written part coherent (create invalidates it).
+            if self.fs.exists(&path) {
+                self.fs.delete(&path, false)?;
+            }
+            hmr_api::fs::write_file(&*self.fs, &path, bytes)?;
+        }
+        let marker = out_dir.join("_SUCCESS");
+        if !self.fs.underlying().exists(&marker) {
+            self.fs.underlying().create(&marker)?.close()?;
+        }
+        let t_end = cluster.max_time();
+        for node in cluster.nodes() {
+            node.clock().advance_to(t_end);
+        }
+        Ok(JobResult {
+            sim_time: t_end - t0,
+            counters: hit.counters,
+            metrics: cluster.metrics().snapshot().since(m0),
+            output_records: hit.output_records,
+        })
+    }
+
+    /// Replay a map-prefix memo entry: seed the retained reduce-input
+    /// partitions at their home places and run *only* the reduce side —
+    /// metered normally (Sort/Reduce spans, real reducer work), but with no
+    /// splits, no map waves and no shuffle. Byte-identical to a fresh run
+    /// because the captured pairs are the exact assembled reduce inputs, in
+    /// the exact order, that a fresh identical map phase would produce.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_reduce_only<J: JobDef>(
+        &self,
+        cluster: &Cluster,
+        job: Arc<J>,
+        conf: Arc<JobConf>,
+        basis: &m3r_memo::FingerprintBasis,
+        data: &MapPhaseData<J>,
+        map_counters: Counters,
+        t0: f64,
+        m0: &simgrid::metrics::MetricsSnapshot,
+        tjob: u64,
+        place_map: PlaceMap,
+    ) -> Result<JobResult> {
+        let nplaces = cluster.len();
+        let num_reducers = conf.num_reduce_tasks();
+        let shared: Arc<Shared<J>> = Arc::new(Shared::new(nplaces));
+        *shared.counters.lock() = map_counters;
+        for (p, pairs) in data {
+            let place = place_map.place_of(*p, nplaces);
+            shared.local[place]
+                .lock()
+                .insert(*p, pairs.clone());
+        }
+
+        // Distributed cache, exactly as on the normal path (reducers may
+        // read it); bytes already resident in the long-lived places are
+        // free, new ones charge their Setup span as usual.
+        let dist_cache = {
+            let mut memo = self.dist_memo.lock();
+            let mut entries = Vec::new();
+            for path in conf.cache_files() {
+                let bytes = match memo.get(&path) {
+                    Some(b) => b.clone(),
+                    None => {
+                        let b = simgrid::with_meter(
+                            Meter::new(cluster.node(0).clone()),
+                            || -> Result<Bytes> {
+                                trace::span(Phase::Setup, "dist_cache", None, || {
+                                    self.fs.open(&path)?.read_all()
+                                })
+                            },
+                        )?;
+                        memo.insert(path.clone(), b.clone());
+                        b
+                    }
+                };
+                entries.push((path, bytes));
+            }
+            Arc::new(DistCache::from_entries(entries))
+        };
+
+        let opts = self.opts.clone();
+        self.world.finish(|fin| {
+            for place in 0..nplaces {
+                let job = Arc::clone(&job);
+                let conf = Arc::clone(&conf);
+                let fs = Arc::clone(&self.fs);
+                let cluster = cluster.clone();
+                let shared = Arc::clone(&shared);
+                let dist_cache = Arc::clone(&dist_cache);
+                let opts = opts.clone();
+                let arena = opts.arena.then(|| Arc::clone(&self.arenas[place]));
+                fin.at(place, move |_pc| {
+                    let r = replay_reduce_at_place(
+                        place, &job, &conf, &fs, &cluster, &shared, &dist_cache, &opts,
+                        place_map, num_reducers, arena.as_deref(), tjob,
+                    );
+                    shared.record(r);
+                });
+            }
+        });
+        shared.check()?;
+        cluster.barrier();
+
+        let output_format = job.output_format(&conf);
+        if let Some(dir) = output_format.output_path(&conf) {
+            if !conf.is_temp_output(&dir) {
+                let marker = dir.join("_SUCCESS");
+                if !self.fs.underlying().exists(&marker) {
+                    let w = self.fs.underlying().create(&marker)?;
+                    w.close()?;
+                }
+            }
+        }
+
+        let t_end = cluster.max_time();
+        for node in cluster.nodes() {
+            node.clock().advance_to(t_end);
+        }
+        let counters = shared.counters.lock().clone();
+        let output_records = shared.output_records.load(Ordering::Relaxed);
+        // The replayed job is itself memoizable: record its whole-job
+        // output so the next identical submission is a full hit (its map
+        // entry is the one that just served us — already present).
+        self.memo_record_full(basis, &conf, &counters, output_records);
+        Ok(JobResult {
+            sim_time: t_end - t0,
+            counters,
+            metrics: cluster.metrics().snapshot().since(m0),
+            output_records,
+        })
+    }
+
+    /// Read the finished job's part files back (unmetered) and retain them
+    /// under its whole-job fingerprint. Best-effort: an unreadable output
+    /// directory just skips recording — memoization must never fail a job
+    /// that already succeeded.
+    fn memo_record_full(
+        &self,
+        basis: &m3r_memo::FingerprintBasis,
+        conf: &JobConf,
+        counters: &Counters,
+        output_records: u64,
+    ) {
+        let Some(out_dir) = conf.output_path() else {
+            return;
+        };
+        let Ok(listing) = self.fs.underlying().list_status(&out_dir) else {
+            return;
+        };
+        let mut parts = Vec::new();
+        for st in listing {
+            if st.is_dir {
+                continue;
+            }
+            let name = st.path.name().unwrap_or_default().to_string();
+            if name == "_SUCCESS" {
+                continue;
+            }
+            match hmr_api::fs::read_file(&**self.fs.underlying(), &st.path) {
+                Ok(bytes) => parts.push((name, bytes)),
+                Err(_) => return,
+            }
+        }
+        parts.sort_by(|a, b| a.0.cmp(&b.0));
+        self.memo.record_full(
+            basis.job_fingerprint(),
+            basis.input_versions().to_vec(),
+            parts,
+            counters.clone(),
+            output_records,
+        );
     }
 }
 
@@ -1182,6 +1528,7 @@ fn reduce_phase_at_place<J: JobDef>(
     pool: &Arc<BufPool>,
     arena: Option<&Arena>,
     tjob: u64,
+    capture: Option<&Mutex<MapPhaseData<J>>>,
 ) -> Result<()> {
     let node = cluster.node(place);
     let nplaces = cluster.len();
@@ -1253,6 +1600,15 @@ fn reduce_phase_at_place<J: JobDef>(
                 (p, pairs)
             })
             .collect();
+        // Memo capture (m3r-memo): snapshot the assembled inputs at the
+        // exact shuffle/reduce boundary. `Arc` clones only — unmetered,
+        // wall-clock-invisible to the simulation.
+        if let Some(cap) = capture {
+            let mut cap = cap.lock();
+            for (p, pairs) in &inputs {
+                cap.push((*p, pairs.clone()));
+            }
+        }
         let wave_base = node.clock().now();
         // Sequential under a finite budget, for the same determinism reason
         // as the map waves: reducer output-cache puts may evict.
@@ -1279,6 +1635,69 @@ fn reduce_phase_at_place<J: JobDef>(
             .advance(simgrid::pool::wave_duration(&scratches));
         // Wave boundary: trim this place's scratch shelf back to its
         // retention cap (wall-clock only; nothing simulated observes it).
+        if let Some(a) = arena {
+            a.end_wave();
+        }
+    }
+    Ok(())
+}
+
+/// The reduce side of a map-prefix memo replay: identical to the wave loop
+/// of [`reduce_phase_at_place`], minus stream ingest (the seeded
+/// `shared.local` holds the retained, already-assembled partitions) and
+/// minus any Shuffle span — the rollup must show the shuffle as elided, so
+/// this deliberately does not reuse `reduce_phase_at_place` (whose empty
+/// ingest span would still count a Shuffle row).
+#[allow(clippy::too_many_arguments)]
+fn replay_reduce_at_place<J: JobDef>(
+    place: usize,
+    job: &Arc<J>,
+    conf: &Arc<JobConf>,
+    fs: &Arc<CachingFs>,
+    cluster: &Cluster,
+    shared: &Arc<Shared<J>>,
+    dist_cache: &Arc<DistCache>,
+    opts: &M3ROptions,
+    place_map: PlaceMap,
+    num_reducers: usize,
+    arena: Option<&Arena>,
+    tjob: u64,
+) -> Result<()> {
+    let node = cluster.node(place);
+    let nplaces = cluster.len();
+    let output_format = job.output_format(conf);
+    let tuning = sort_tuning(conf, opts);
+    let mut local = std::mem::take(&mut *shared.local[place].lock());
+    let my_parts: Vec<usize> = (0..num_reducers)
+        .filter(|p| place_map.place_of(*p, nplaces) == place)
+        .collect();
+    for wave in my_parts.chunks(opts.worker_threads) {
+        let inputs: Vec<(usize, Vec<(Arc<J::K2>, Arc<J::V2>)>)> = wave
+            .iter()
+            .map(|&p| (p, local.remove(&p).unwrap_or_default()))
+            .collect();
+        let wave_base = node.clock().now();
+        let (results, scratches) = simgrid::pool::run_wave(
+            cluster,
+            place,
+            opts.real_parallelism && cluster.mem().budget().is_none(),
+            inputs,
+            |(p, pairs): (usize, Vec<(Arc<J::K2>, Arc<J::V2>)>)| {
+                let r = trace::span(Phase::Reduce, "reduce", Some(p as u64), || {
+                    run_reduce_partition(
+                        place, p, job, conf, fs, &*output_format, pairs, shared, dist_cache,
+                        &tuning, arena,
+                    )
+                });
+                (r, trace::take_pending())
+            },
+        );
+        for (result, task_spans) in results {
+            cluster.trace().record_rebased(tjob, place, wave_base, task_spans);
+            result?;
+        }
+        node.clock()
+            .advance(simgrid::pool::wave_duration(&scratches));
         if let Some(a) = arena {
             a.end_wave();
         }

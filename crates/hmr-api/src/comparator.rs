@@ -411,10 +411,12 @@ pub fn group_spans<K, V>(
     spans
 }
 
-/// FNV-1a over a raw key. The drain order never depends on this hash (it
-/// sorts the group representatives by raw bytes), so any function works —
-/// FNV keeps the kernel dependency-free and branch-free.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte slice. The hash-group drain order never depends on
+/// this hash (it sorts the group representatives by raw bytes), so any
+/// function works — FNV keeps the kernel dependency-free and branch-free.
+/// Public because the `m3r-memo` fingerprint subsystem reuses the same
+/// kernel (content versions and job fingerprints hash through it).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

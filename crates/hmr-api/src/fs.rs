@@ -183,6 +183,38 @@ pub trait FileSystem: Send + Sync {
     fn block_locations(&self, _path: &HPath, _offset: u64, _len: u64) -> Result<Vec<Vec<usize>>> {
         Ok(Vec::new())
     }
+
+    /// A *content version* for `path`: a value that is equal whenever the
+    /// content is byte-identical and (with overwhelming probability)
+    /// differs whenever it is not. For a file this is a hash of its bytes;
+    /// for a directory, a combined hash over the subtree's `(path, file
+    /// version)` pairs, so adding, removing, renaming or rewriting any
+    /// file under it changes the directory's version. Re-writing identical
+    /// bytes keeps the version — deliberate, so deterministic iterative
+    /// drivers that regenerate an operand file byte-for-byte still
+    /// fingerprint equal across submissions (`m3r-memo`, ISSUE 10).
+    ///
+    /// `None` (the default) means the filesystem does not version content;
+    /// memoization treats any `None` input as unfingerprintable and
+    /// declines to record or replay. Charges nothing: version reads are
+    /// metadata, shared with the namenode-roundtrip cost already paid by
+    /// the stat calls around them.
+    fn content_version(&self, _path: &HPath) -> Option<u64> {
+        None
+    }
+}
+
+/// Combine per-file content versions into a directory version: a hash over
+/// the sorted `(path, version)` pairs. Shared by [`MemFs`] and `simdfs` so
+/// both filesystems agree on what a directory's version means.
+pub fn combine_dir_version(entries: &[(&HPath, u64)]) -> u64 {
+    let mut buf = Vec::with_capacity(entries.len() * 24);
+    for (p, v) in entries {
+        buf.extend_from_slice(p.as_str().as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    crate::comparator::fnv1a(&buf)
 }
 
 // ---------------------------------------------------------------------------
@@ -413,6 +445,24 @@ impl FileSystem for MemFs {
         }
         Ok(out)
     }
+
+    fn content_version(&self, path: &HPath) -> Option<u64> {
+        let nodes = self.inner.nodes.read();
+        match nodes.get(path)? {
+            MemNode::File(d) => Some(crate::comparator::fnv1a(d)),
+            MemNode::Dir => {
+                let entries: Vec<(&HPath, u64)> = nodes
+                    .range(path.clone()..)
+                    .take_while(|(p, _)| p.starts_with(path))
+                    .filter_map(|(p, n)| match n {
+                        MemNode::File(d) => Some((p, crate::comparator::fnv1a(d))),
+                        MemNode::Dir => None,
+                    })
+                    .collect();
+                Some(combine_dir_version(&entries))
+            }
+        }
+    }
 }
 
 /// Write an entire file in one call.
@@ -431,6 +481,31 @@ pub fn read_file(fs: &dyn FileSystem, path: &HPath) -> Result<Bytes> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn content_version_hashes_content_not_writes() {
+        let fs = MemFs::new();
+        let p = HPath::new("/in/a.txt");
+        write_file(&fs, &p, b"hello").unwrap();
+        let v1 = fs.content_version(&p).unwrap();
+        // Rewriting identical bytes (delete + create, the way drivers
+        // resubmit — `create` refuses overwrite) keeps the version.
+        fs.delete(&p, false).unwrap();
+        write_file(&fs, &p, b"hello").unwrap();
+        assert_eq!(fs.content_version(&p), Some(v1));
+        // Different bytes change it.
+        fs.delete(&p, false).unwrap();
+        write_file(&fs, &p, b"world").unwrap();
+        assert_ne!(fs.content_version(&p), Some(v1));
+        // Directory version reacts to any file under it.
+        let dir = HPath::new("/in");
+        let dv1 = fs.content_version(&dir).unwrap();
+        write_file(&fs, &HPath::new("/in/b.txt"), b"x").unwrap();
+        let dv2 = fs.content_version(&dir).unwrap();
+        assert_ne!(dv1, dv2);
+        // Missing path is unversioned.
+        assert_eq!(fs.content_version(&HPath::new("/nope")), None);
+    }
 
     #[test]
     fn hpath_normalizes() {

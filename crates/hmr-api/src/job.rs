@@ -26,6 +26,57 @@ use crate::writable::{WritableKey, WritableValue};
 pub type MapOnlyConvert<K2, V2, K3, V3> =
     Arc<dyn Fn(Arc<K2>, Arc<V2>) -> (Arc<K3>, Arc<V3>) + Send + Sync>;
 
+/// The canonical identity of a job's *compute*: which mapper, reducer,
+/// combiner and partitioner it runs. This is the Rust analogue of the class
+/// names a Hadoop `JobConf` carries — ReStore-style cross-job memoization
+/// (`m3r-memo`, ISSUE 10) folds these strings into the job fingerprint so
+/// that two jobs only share a fingerprint when they run the same code.
+///
+/// Identities are declared, not derived: closures and type names do not
+/// survive as stable identifiers, so a job opts into memoization by naming
+/// its components. The contract is the obvious one — two jobs reporting the
+/// same `ComputeIdentity` (and conf and inputs) **must** produce the same
+/// output bytes. Jobs whose behaviour varies in ways the identity strings
+/// don't capture must fold the varying part into a field (as the sysml
+/// `MapMultJob` folds its transpose flag and block size into `mapper`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComputeIdentity {
+    /// Mapper identity (e.g. `"wordcount.map"`), including any
+    /// conf-independent parameters that change map output.
+    pub mapper: String,
+    /// Reducer identity. Excluded from the *map-phase* fingerprint so a
+    /// job differing only here can reuse retained shuffle partitions.
+    pub reducer: String,
+    /// Combiner identity; `None` when the job has no combiner.
+    pub combiner: Option<String>,
+    /// Partitioner identity (routing of intermediate keys).
+    pub partitioner: String,
+}
+
+impl ComputeIdentity {
+    /// Identity with the default hash partitioner and no combiner.
+    pub fn new(mapper: impl Into<String>, reducer: impl Into<String>) -> Self {
+        ComputeIdentity {
+            mapper: mapper.into(),
+            reducer: reducer.into(),
+            combiner: None,
+            partitioner: "hash".to_string(),
+        }
+    }
+
+    /// Set the combiner identity (fluent).
+    pub fn with_combiner(mut self, combiner: impl Into<String>) -> Self {
+        self.combiner = Some(combiner.into());
+        self
+    }
+
+    /// Set the partitioner identity (fluent).
+    pub fn with_partitioner(mut self, partitioner: impl Into<String>) -> Self {
+        self.partitioner = partitioner.into();
+        self
+    }
+}
+
 /// A typed MapReduce job definition.
 pub trait JobDef: Send + Sync + 'static {
     /// Input key type.
@@ -102,6 +153,15 @@ pub trait JobDef: Send + Sync + 'static {
     fn name(&self) -> &str {
         "job"
     }
+
+    /// The job's declared compute identity for cross-job memoization.
+    /// `None` (the default) opts the job out: without a stable identity the
+    /// memo subsystem cannot prove two submissions run the same code, so
+    /// it never records or replays them. See [`ComputeIdentity`] for the
+    /// contract a `Some` return signs up to.
+    fn memo_identity(&self) -> Option<ComputeIdentity> {
+        None
+    }
 }
 
 /// What an engine reports back for one completed job.
@@ -163,6 +223,23 @@ pub trait LaneEngine: Engine {
     /// Set (or clear) a per-client cache residency quota in bytes. Engines
     /// without a governed cache ignore this.
     fn set_client_quota(&self, _client: &str, _quota: Option<u64>) {}
+
+    /// Attempt to satisfy `job` from the engine's cross-job memo index
+    /// *without running it*: on a whole-job fingerprint hit the engine
+    /// replays the retained output bytes (unmetered — ~0 simulated
+    /// seconds, no map/shuffle spans) and returns the finished result.
+    ///
+    /// `None` means no usable memo entry (or memoization disabled /
+    /// unsupported) — the caller must schedule the job normally. The §5.3
+    /// job server calls this as a pre-admission stage so memo hits resolve
+    /// tickets without occupying a dispatch lane. The default declines.
+    fn try_memo_replay<J: JobDef>(
+        &self,
+        _job: &Arc<J>,
+        _conf: &JobConf,
+    ) -> Option<Result<JobResult>> {
+        None
+    }
 }
 
 #[cfg(test)]

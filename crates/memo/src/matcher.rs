@@ -1,0 +1,109 @@
+//! The sub-job matcher: decide what, if anything, a submission can reuse.
+//!
+//! Matching is hierarchical. The best outcome is a **whole-job hit** — the
+//! exact job ran before and its outputs are retained, so nothing executes.
+//! Failing that, a **map-prefix hit** — some earlier job ran the identical
+//! map / combine / partition pipeline over identical inputs (only the
+//! reducer differs), and its shuffle-stable reduce-input partitions are
+//! retained — lets the engine replay only the reduce side. Otherwise the
+//! job is a **miss** and runs normally (recording on the way out).
+
+use hmr_api::fs::FileSystem;
+
+use crate::fingerprint::FingerprintBasis;
+use crate::index::ReuseIndex;
+
+/// What the matcher found for a submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoMatch {
+    /// Retained whole-job output exists: replay it, run nothing.
+    Full,
+    /// Retained reduce-input partitions for the identical map-phase prefix
+    /// exist: skip map+shuffle, run only the reduce side.
+    MapPrefix,
+    /// Nothing reusable: run the job and record its results.
+    Miss,
+}
+
+/// Classify `basis` against `index`, verifying entries against `fs` (stale
+/// entries are invalidated as a side effect, exactly as on lookup).
+///
+/// This inspects validity without consuming a hit: it does not bump hit
+/// counters or LRU ticks, so engines can probe it for scheduling decisions
+/// and still do the real `lookup_full` / `lookup_map` when they commit.
+pub fn match_job(index: &ReuseIndex, basis: &FingerprintBasis, fs: &dyn FileSystem) -> MemoMatch {
+    if index.probe_full(basis.job_fingerprint(), fs) {
+        MemoMatch::Full
+    } else if index.probe_map(basis.map_fingerprint(), fs) {
+        MemoMatch::MapPrefix
+    } else {
+        MemoMatch::Miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmr_api::conf::JobConf;
+    use hmr_api::counters::Counters;
+    use hmr_api::fs::{write_file, HPath, MemFs};
+    use hmr_api::job::ComputeIdentity;
+    use std::sync::Arc;
+
+    #[test]
+    fn match_hierarchy_full_then_map_then_miss() {
+        let fs = MemFs::new();
+        write_file(&fs, &HPath::new("/in/a"), b"x").unwrap();
+        let mut conf = JobConf::new();
+        conf.set_input_paths(&[HPath::new("/in/a")])
+            .set_num_reduce_tasks(2);
+        let sum = FingerprintBasis::gather(
+            &fs,
+            &conf,
+            &ComputeIdentity::new("wc.map", "sum"),
+            "m3r",
+            &[],
+        )
+        .unwrap();
+        let max = FingerprintBasis::gather(
+            &fs,
+            &conf,
+            &ComputeIdentity::new("wc.map", "max"),
+            "m3r",
+            &[],
+        )
+        .unwrap();
+
+        let idx = ReuseIndex::new(2);
+        assert_eq!(match_job(&idx, &sum, &fs), MemoMatch::Miss);
+
+        // Record the *sum* job fully, plus its map-phase partitions.
+        idx.record_full(
+            sum.job_fingerprint(),
+            sum.input_versions().to_vec(),
+            vec![("part-00000".into(), bytes::Bytes::copy_from_slice(b"s"))],
+            Counters::new(),
+            1,
+        );
+        idx.record_map(
+            sum.map_fingerprint(),
+            sum.input_versions().to_vec(),
+            Arc::new(42usize),
+            Counters::new(),
+            8,
+        );
+
+        // Identical resubmission: whole-job hit.
+        assert_eq!(match_job(&idx, &sum, &fs), MemoMatch::Full);
+        // Same map phase, different reducer: map-prefix hit.
+        assert_eq!(match_job(&idx, &max, &fs), MemoMatch::MapPrefix);
+        // Probing consumed nothing.
+        assert_eq!(idx.hits(), 0);
+
+        // Input mutation degrades both to a miss (and invalidates).
+        fs.delete(&HPath::new("/in/a"), false).unwrap();
+        write_file(&fs, &HPath::new("/in/a"), b"y").unwrap();
+        assert_eq!(match_job(&idx, &sum, &fs), MemoMatch::Miss);
+        assert!(idx.invalidations() >= 1);
+    }
+}

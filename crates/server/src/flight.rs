@@ -56,6 +56,11 @@ pub struct TicketTrace {
     pub deps: usize,
     /// Worker lane index the job ran on; `None` for cancelled jobs.
     pub lane: Option<usize>,
+    /// The submission resolved straight from the engine's cross-job memo
+    /// index (ISSUE 10): it never occupied a worker lane — `lane` stays
+    /// `None` and `lane_run_ns` is the replay's time under the admission
+    /// lock.
+    pub memo_hit: bool,
     /// Terminal status.
     pub status: JobStatus,
     /// Submit call entered (before the admission lock).
@@ -94,6 +99,7 @@ impl TicketTrace {
             priority: 0,
             deps: 0,
             lane: None,
+            memo_hit: false,
             status: JobStatus::Queued,
             submitted_ns: 0,
             admitted_ns: 0,
@@ -158,6 +164,9 @@ pub struct ClientStat {
     pub client: String,
     /// Resolved tickets from this client.
     pub jobs: usize,
+    /// Tickets resolved straight from the cross-job memo index, without
+    /// ever occupying a worker lane.
+    pub memo_hits: usize,
     /// Submit→resolve latency percentiles (nearest-rank), nanoseconds.
     pub p50_ns: u64,
     /// 95th percentile.
@@ -325,6 +334,26 @@ impl FlightRecorder {
         }
     }
 
+    /// The submission resolved straight from the engine's cross-job memo
+    /// index without occupying a lane. Recorded between
+    /// `record_submitted` and `record_resolved` (both still fire, so the
+    /// submitted/completed counter invariants are unchanged); the extra
+    /// `state="memo_hit"` sample counts the disposition.
+    pub(crate) fn record_memo_hit(&self, seq: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock();
+        let t = st.traces.entry(seq).or_insert_with(|| TicketTrace::new(seq));
+        t.memo_hit = true;
+        if let Some(reg) = &st.telemetry {
+            reg.counter(
+                "m3r_server_jobs_total",
+                "tickets by lifecycle outcome",
+                &[("state", "memo_hit")],
+            )
+            .inc();
+        }
+    }
+
     /// The last conflict-DAG dependency of `seq` resolved.
     pub(crate) fn record_ready(&self, seq: u64) {
         let Some(inner) = &self.inner else { return };
@@ -469,6 +498,7 @@ impl FlightRecorder {
                 ClientStat {
                     client: client.to_string(),
                     jobs: ts.len(),
+                    memo_hits: ts.iter().filter(|t| t.memo_hit).count(),
                     p50_ns: percentile(&totals, 0.50),
                     p95_ns: percentile(&totals, 0.95),
                     p99_ns: percentile(&totals, 0.99),

@@ -368,6 +368,69 @@ pub(crate) fn admit<E>(
     n_deps
 }
 
+/// True when a memo replay may resolve this submission at admission time
+/// (state lock held): every explicit dependency is already resolved and no
+/// unresolved entry's footprint overlaps the new job's — an in-flight
+/// writer could still be producing its inputs or holding its output
+/// directory, and a replay jumping that queue would not match any
+/// serialized schedule.
+pub(crate) fn memo_clear<E>(
+    st: &SchedState<E>,
+    footprint: &[HPath],
+    explicit_deps: &[u64],
+) -> bool {
+    explicit_deps
+        .iter()
+        .all(|d| st.entries.get(d).is_none_or(|e| e.resolved()))
+        && !st
+            .entries
+            .values()
+            .any(|e| !e.resolved() && footprints_overlap(footprint, &e.footprint))
+}
+
+/// Insert an already-resolved entry for a pre-admission memo hit (submit
+/// time, state lock held): the replayed job never occupies a worker lane,
+/// but it still holds a seq slot so the fold cursor and the flight
+/// timeline stay dense. It folds as zero — the replay already ran, in ~0
+/// simulated seconds, directly on the home cluster under the admission
+/// lock.
+pub(crate) fn admit_memo_hit<E>(
+    st: &mut SchedState<E>,
+    rec: &FlightRecorder,
+    seq: u64,
+    footprint: Vec<HPath>,
+    ticket: Arc<TicketInner>,
+    result: Result<JobResult>,
+) {
+    st.entries.insert(
+        seq,
+        Entry {
+            seq,
+            priority: 0,
+            // The replay opened its own (span-free) trace job on the home
+            // cluster; a resolved entry never creates a lane, so no
+            // pre-registered id is needed.
+            tjob: 0,
+            footprint,
+            deps: HashSet::new(),
+            dependents: Vec::new(),
+            state: EntryState::Done,
+            run: None,
+            ticket: Arc::clone(&ticket),
+            fold: None,
+            folded: false,
+        },
+    );
+    let status = if result.is_ok() {
+        JobStatus::Completed
+    } else {
+        JobStatus::Failed
+    };
+    rec.record_resolved(seq, status);
+    ticket.resolve(status, result);
+    advance_fold(st, rec);
+}
+
 /// Pick the next dispatchable job: ready (queued, no outstanding deps),
 /// highest priority first, then admission order. Under exclusive mode
 /// nothing dispatches while another job runs.

@@ -16,7 +16,7 @@ use hmr_api::fs::HPath;
 use hmr_api::job::{JobDef, JobResult, LaneEngine};
 use simgrid::Cluster;
 
-use crate::scheduler::{admit, RunFn, Shared};
+use crate::scheduler::{admit, admit_memo_hit, memo_clear, RunFn, Shared};
 use crate::ticket::{JobTicket, TicketInner};
 
 /// A submission handle bound to one client identity. Clone freely; hand to
@@ -161,6 +161,39 @@ impl<E: LaneEngine> SubmissionBuilder<'_, E> {
         if let Some(q) = self.cache_quota {
             engine.set_client_quota(&client, Some(q));
         }
+
+        // Pre-admission memoization stage (ISSUE 10): when nothing
+        // unresolved overlaps this job's footprint (an in-flight writer
+        // could still be producing our inputs or holding our output
+        // directory) and no explicit dependency is outstanding, ask the
+        // engine for a whole-job memo replay. A hit resolves the ticket
+        // right here — no DAG edges, no worker, no lane. It runs under
+        // the admission lock, so the replay's trace job and output writes
+        // land in admission order, exactly like a serialized schedule.
+        if memo_clear(&st, &footprint, &self.after) {
+            if let Some(result) = engine.try_memo_replay(&job, &conf) {
+                let ticket = TicketInner::new(seq, client.clone());
+                flight.record_submitted(
+                    seq,
+                    &client,
+                    conf.job_name(),
+                    self.priority,
+                    0,
+                    t_submit,
+                    t_locked,
+                    flight.now_ns(),
+                );
+                flight.record_memo_hit(seq);
+                admit_memo_hit(&mut st, flight, seq, footprint, Arc::clone(&ticket), result);
+                drop(st);
+                self.client.shared.cv.notify_all();
+                return Ok(JobTicket {
+                    inner: ticket,
+                    canceller: Arc::clone(&self.client.canceller),
+                });
+            }
+        }
+
         // Register the trace job id under the admission lock so trace ids
         // follow seq order — the rollup is then schedule-independent.
         let tjob = st.home.trace().register_job(&format!(

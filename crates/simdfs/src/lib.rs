@@ -48,7 +48,18 @@ pub struct BlockInfo {
 
 #[derive(Debug)]
 enum DfsNode {
-    File { blocks: Vec<BlockInfo>, len: u64 },
+    File {
+        blocks: Vec<BlockInfo>,
+        len: u64,
+        /// fnv1a over the file's full contents, stamped once at writer
+        /// close. This is the file's *content version* (`m3r-memo`):
+        /// rewriting identical bytes under a fresh path-and-recreate still
+        /// yields the same version, while any byte change yields a new one.
+        /// Rename moves the node (and version) wholesale; delete removes it
+        /// — so a memo entry's recorded versions go stale exactly when the
+        /// input's content can no longer be proven unchanged.
+        version: u64,
+    },
     Dir,
 }
 
@@ -161,6 +172,7 @@ impl FsWriter for DfsWriter {
     fn close(self: Box<Self>) -> Result<u64> {
         let inner = &*self.dfs.inner;
         let total = self.buf.len() as u64;
+        let version = hmr_api::comparator::fnv1a(&self.buf);
         // Prefer the writer's own node for the first replica (HDFS
         // write-local affinity); fall back to a path-hash.
         let local = meter::current_meter().map(|m| m.node().id()).unwrap_or_else(|| {
@@ -232,7 +244,14 @@ impl FsWriter for DfsWriter {
                 }
             }
         }
-        meta.insert(self.target, DfsNode::File { blocks, len: total });
+        meta.insert(
+            self.target,
+            DfsNode::File {
+                blocks,
+                len: total,
+                version,
+            },
+        );
         Ok(total)
     }
 }
@@ -476,6 +495,27 @@ impl FileSystem for SimDfs {
             .map(|(_, b)| b.replicas)
             .collect())
     }
+
+    fn content_version(&self, path: &HPath) -> Option<u64> {
+        // Pure namenode metadata: the hash was stamped at write time, so a
+        // version read costs the same round trip as any stat.
+        self.charge_namenode();
+        let meta = self.inner.meta.read();
+        match meta.get(path)? {
+            DfsNode::File { version, .. } => Some(*version),
+            DfsNode::Dir => {
+                let entries: Vec<(&HPath, u64)> = meta
+                    .range(path.clone()..)
+                    .take_while(|(p, _)| p.starts_with(path))
+                    .filter_map(|(p, n)| match n {
+                        DfsNode::File { version, .. } => Some((p, *version)),
+                        DfsNode::Dir => None,
+                    })
+                    .collect();
+                Some(hmr_api::fs::combine_dir_version(&entries))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -594,6 +634,29 @@ mod tests {
             read_file(&fs, &HPath::new("/out/final/part-00000")).unwrap(),
             b"xyz"
         );
+    }
+
+    #[test]
+    fn content_version_is_a_content_hash() {
+        let fs = dfs(2);
+        let f = HPath::new("/in/f");
+        write_file(&fs, &f, b"payload").unwrap();
+        let v = fs.content_version(&f).unwrap();
+        // Delete-and-rewrite of identical bytes keeps the version (this is
+        // what lets deterministic iterative drivers re-fingerprint equal).
+        fs.delete(&f, false).unwrap();
+        write_file(&fs, &f, b"payload").unwrap();
+        assert_eq!(fs.content_version(&f), Some(v));
+        // A byte change flips it.
+        fs.delete(&f, false).unwrap();
+        write_file(&fs, &f, b"Payload").unwrap();
+        assert_ne!(fs.content_version(&f), Some(v));
+        // Directory version covers the subtree and survives rename of the
+        // directory itself only under its new name.
+        let dv = fs.content_version(&HPath::new("/in")).unwrap();
+        write_file(&fs, &HPath::new("/in/g"), b"more").unwrap();
+        assert_ne!(fs.content_version(&HPath::new("/in")), Some(dv));
+        assert_eq!(fs.content_version(&HPath::new("/absent")), None);
     }
 
     #[test]

@@ -48,10 +48,16 @@ pub enum MemClass {
     /// depend on thread schedule and break the arena's bit-identity
     /// contract (arena on/off must not change simulated behaviour).
     Arena,
+    /// Cross-job memoization entries (the `m3r-memo` reuse index): retained
+    /// output partition sets and shuffle-stable map outputs keyed by job
+    /// fingerprint. Budget-live like the cache — reuse must never blow the
+    /// memory budget — but evicted by *dropping* (recomputation is the
+    /// reload path), never by spilling.
+    Memo,
 }
 
 impl MemClass {
-    const COUNT: usize = 5;
+    const COUNT: usize = 6;
 
     fn index(self) -> usize {
         match self {
@@ -60,6 +66,7 @@ impl MemClass {
             MemClass::Pool => 2,
             MemClass::Combine => 3,
             MemClass::Arena => 4,
+            MemClass::Memo => 5,
         }
     }
 
@@ -70,6 +77,7 @@ impl MemClass {
             MemClass::Pool => "pool",
             MemClass::Combine => "combine",
             MemClass::Arena => "arena",
+            MemClass::Memo => "memo",
         }
     }
 
@@ -80,6 +88,7 @@ impl MemClass {
             MemClass::Pool,
             MemClass::Combine,
             MemClass::Arena,
+            MemClass::Memo,
         ]
     }
 }

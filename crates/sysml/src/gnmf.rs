@@ -70,6 +70,11 @@ pub fn run_gnmf<E: Engine>(
         // --- H update: needs WᵀV ------------------------------------------
         // mapmult computes VᵀW (m×k); transpose in the driver.
         let vtw_dir = work.join(&format!("gnmf{it}_vtw"));
+        // Resubmitted runs reuse the work dir (keeping job fingerprints
+        // stable for cross-job memoization); clear stale output first.
+        if fs.exists(&vtw_dir) {
+            fs.delete(&vtw_dir, true)?;
+        }
         let j1 = run_mapmult(
             engine,
             fs,
@@ -88,6 +93,9 @@ pub fn run_gnmf<E: Engine>(
 
         // --- W update: needs V·Hᵀ ------------------------------------------
         let vht_dir = work.join(&format!("gnmf{it}_vht"));
+        if fs.exists(&vht_dir) {
+            fs.delete(&vht_dir, true)?;
+        }
         let j2 = run_mapmult(
             engine,
             fs,

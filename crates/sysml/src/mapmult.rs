@@ -215,6 +215,20 @@ impl JobDef for MapMultJob {
             "sysml-mapmult"
         }
     }
+
+    fn memo_identity(&self) -> Option<hmr_api::job::ComputeIdentity> {
+        // `transpose` and `block` change what the mapper computes, so they
+        // are folded into the code identity. The operand's *content*
+        // enters the fingerprint separately, as the cache file's content
+        // version; its path as an input path — neither belongs here.
+        Some(hmr_api::job::ComputeIdentity::new(
+            format!(
+                "sysml.MapMult(transpose={},block={})",
+                self.transpose, self.block
+            ),
+            "sysml.SumDenseReducer",
+        ))
+    }
 }
 
 /// Run one mapmult: `result_dir = op(A[dir]) × B[operand]`. Returns the

@@ -46,6 +46,14 @@ pub fn run_pagerank<E: Engine>(
     let mut job_log = Vec::with_capacity(iterations);
     for it in 0..iterations {
         let out_dir = work.join(&format!("pr{it}"));
+        // A resubmitted run reuses the same work dir (that is what makes
+        // its jobs fingerprint-identical for cross-job memoization);
+        // clear the previous run's output so the engine starts from an
+        // empty directory either way. No-op — and no simulated cost —
+        // on a first run.
+        if fs.exists(&out_dir) {
+            fs.delete(&out_dir, true)?;
+        }
         let j = run_mapmult(
             engine,
             fs,

@@ -157,6 +157,24 @@ impl JobDef for WordCountJob {
             WcStyle::FreshText => "wordcount-fresh",
         }
     }
+
+    fn memo_identity(&self) -> Option<hmr_api::job::ComputeIdentity> {
+        // Identity names code, not observed equivalence: the two mapper
+        // styles emit the same pairs today, but they are different mappers
+        // and must not share memo entries.
+        let id = hmr_api::job::ComputeIdentity::new(
+            match self.style {
+                WcStyle::ReuseText => "wordcount.map.reuse",
+                WcStyle::FreshText => "wordcount.map.fresh",
+            },
+            "hmr.LongSumReducer",
+        );
+        Some(if self.combiner {
+            id.with_combiner("hmr.LongSumReducer")
+        } else {
+            id
+        })
+    }
 }
 
 /// Run WordCount over `input` on any engine; output goes to `output` with
